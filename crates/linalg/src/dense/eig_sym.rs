@@ -1,0 +1,198 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use super::matrix::Matrix;
+use crate::error::{LinalgError, Result};
+
+/// Eigendecomposition `A = Q Λ Qᵀ` of a symmetric matrix.
+///
+/// Used for the positive-real tests in the passivity toolkit (checking
+/// `Re H(jω) ⪰ 0` requires the eigenvalues of a small symmetric matrix per
+/// frequency sample) and as a well-conditioned reference in tests.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, matching `values` order.
+    pub vectors: Matrix,
+}
+
+impl SymEig {
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// Only the lower triangle is read; no symmetry check is performed beyond
+    /// a debug assertion.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] if the input is not square.
+    /// - [`LinalgError::NotConverged`] if Jacobi sweeps fail (practically
+    ///   unreachable for finite symmetric inputs).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        let mut m = symmetrize(a);
+        let mut q = Matrix::identity(n);
+        let max_sweeps = 50;
+        let mut converged = n <= 1;
+        for _ in 0..max_sweeps {
+            let mut off = 0.0_f64;
+            for p in 0..n {
+                for r in (p + 1)..n {
+                    off += m[(p, r)] * m[(p, r)];
+                }
+            }
+            if off.sqrt() <= 1e-14 * (m.norm_fro() + 1e-300) {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for r in (p + 1)..n {
+                    let apq = m[(p, r)];
+                    if apq == 0.0 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(r, r)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Update rows/columns p and r of the symmetric matrix.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, r)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, r)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(r, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(r, k)] = s * mpk + c * mqk;
+                    }
+                    for k in 0..n {
+                        let qkp = q[(k, p)];
+                        let qkq = q[(k, r)];
+                        q[(k, p)] = c * qkp - s * qkq;
+                        q[(k, r)] = s * qkp + c * qkq;
+                    }
+                }
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NotConverged {
+                method: "jacobi-sym-eig",
+                iterations: max_sweeps,
+                residual: f64::NAN,
+            });
+        }
+        // Sort ascending, permute vectors to match.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (dst, &src) in order.iter().enumerate() {
+            for i in 0..n {
+                vectors[(i, dst)] = q[(i, src)];
+            }
+        }
+        Ok(SymEig { values, vectors })
+    }
+
+    /// Smallest eigenvalue (`None` for a 0×0 input).
+    pub fn min(&self) -> Option<f64> {
+        self.values.first().copied()
+    }
+}
+
+fn symmetrize(a: &Matrix) -> Matrix {
+    let n = a.nrows();
+    Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = SymEig::compute(&a).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 3.0).abs() < 1e-14);
+        assert_eq!(e.min(), Some(e.values[0]));
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymEig::compute(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-13);
+        assert!((e.values[1] - 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = SymEig::compute(&a).unwrap();
+        // Q Λ Qᵀ = A
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let back = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(back.sub(&a).unwrap().norm_max() < 1e-12);
+        let qtq = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(qtq.sub(&Matrix::identity(n)).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i + j) as f64).sin());
+        let e = SymEig::compute(&a).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-14);
+        }
+    }
+
+    #[test]
+    fn spd_matrix_has_positive_eigenvalues() {
+        // Laplacian of a path + I is SPD.
+        let n = 10;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let e = SymEig::compute(&a).unwrap();
+        assert!(e.min().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(SymEig::compute(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn trace_equals_sum_of_eigenvalues() {
+        let a = Matrix::from_fn(5, 5, |i, j| ((i * j) as f64).cos());
+        let e = SymEig::compute(&a).unwrap();
+        let tr: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-12);
+    }
+}

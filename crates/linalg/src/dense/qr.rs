@@ -1,0 +1,249 @@
+//! Householder QR factorization.
+
+use super::matrix::Matrix;
+use crate::error::{LinalgError, Result};
+
+/// Thin QR factorization `A = Q R` of an `m × n` matrix with `m ≥ n`,
+/// computed with Householder reflections.
+///
+/// The MOR layer uses modified Gram–Schmidt for its incremental Krylov bases
+/// (as the paper's Algorithm 1 does); this Householder QR provides a
+/// backwards-stable reference factorization for tests, for re-orthogonalizing
+/// multi-point bases, and for least-squares solves.
+#[derive(Debug, Clone)]
+pub struct DenseQr {
+    /// Householder vectors stored below the diagonal; R on and above.
+    qr: Matrix,
+    /// Scalar coefficients β of each reflector `H = I − β v vᵀ`.
+    beta: Vec<f64>,
+}
+
+impl DenseQr {
+    /// Factors `a` (must have `nrows ≥ ncols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `nrows < ncols`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument {
+                what: "qr: nrows must be >= ncols",
+            });
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut alpha = 0.0;
+            for i in k..m {
+                alpha += qr[(i, k)] * qr[(i, k)];
+            }
+            alpha = alpha.sqrt();
+            if alpha == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            if qr[(k, k)] > 0.0 {
+                alpha = -alpha;
+            }
+            // v = x - alpha * e1, normalized so v[k] = 1.
+            let vk = qr[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= vk;
+            }
+            beta[k] = -vk / alpha;
+            qr[(k, k)] = alpha;
+            // Apply H to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(DenseQr { qr, beta })
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.ncols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// The thin orthonormal factor `Q` (`m × n`).
+    pub fn thin_q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        // Accumulate Q = H_0 H_1 ... H_{n-1} * [I; 0] applying reflectors
+        // in reverse order.
+        for k in (0..n).rev() {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut s = q[(k, j)];
+                for i in (k + 1)..m {
+                    s += self.qr[(i, k)] * q[(i, j)];
+                }
+                s *= self.beta[k];
+                q[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = self.qr[(i, k)];
+                    q[(i, j)] -= s * vik;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`, returning length `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn qt_mul(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr-qt-mul",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= self.beta[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Least-squares solve: minimizes `‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] on a length mismatch.
+    /// - [`LinalgError::Singular`] if `R` has a zero diagonal (rank-deficient).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.qr.ncols();
+        let y = self.qt_mul(b)?;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d == 0.0 {
+                return Err(LinalgError::Singular { at: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal(q: &Matrix, tol: f64) {
+        let qtq = q.transpose().matmul(q).unwrap();
+        let err = qtq.sub(&Matrix::identity(q.ncols())).unwrap().norm_max();
+        assert!(err < tol, "QᵀQ deviates from identity by {err}");
+    }
+
+    #[test]
+    fn reconstructs_a_square() {
+        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
+        let qr = DenseQr::factor(&a).unwrap();
+        let q = qr.thin_q();
+        let r = qr.r();
+        assert_orthonormal(&q, 1e-13);
+        let back = q.matmul(&r).unwrap();
+        assert!(back.sub(&a).unwrap().norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn reconstructs_a_tall() {
+        let a = Matrix::from_fn(7, 3, |i, j| ((i * 3 + j) as f64).cos());
+        let qr = DenseQr::factor(&a).unwrap();
+        let back = qr.thin_q().matmul(&qr.r()).unwrap();
+        assert!(back.sub(&a).unwrap().norm_max() < 1e-13);
+        assert_orthonormal(&qr.thin_q(), 1e-13);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 4, |i, j| (i + j * 2) as f64 + if i == j { 3.0 } else { 0.0 });
+        let r = DenseQr::factor(&a).unwrap().r();
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Fit y = c0 + c1 x to 4 points; known closed form.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [1.0, 2.2, 2.8, 4.1];
+        let x = DenseQr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations solution computed externally: slope ~ 1.01, icpt ~1.01
+        let at = a.transpose();
+        let ata = at.matmul(&a).unwrap();
+        let atb = at.matvec(&b).unwrap();
+        let xref = crate::dense::DenseLu::factor(&ata).unwrap().solve(&atb).unwrap();
+        for (u, v) in x.iter().zip(&xref) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(DenseQr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected_in_solve() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = DenseQr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn qt_mul_preserves_norm() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 2 * j) as f64).sin() + if i == j { 2.0 } else { 0.0 });
+        let qr = DenseQr::factor(&a).unwrap();
+        let b: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let y = qr.qt_mul(&b).unwrap();
+        let nb = crate::vector::norm2(&b);
+        let ny = crate::vector::norm2(&y);
+        assert!((nb - ny).abs() < 1e-12 * nb.max(1.0));
+    }
+}

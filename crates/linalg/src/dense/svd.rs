@@ -1,0 +1,242 @@
+//! Singular value decomposition via the one-sided Jacobi method.
+
+use super::matrix::Matrix;
+use crate::error::{LinalgError, Result};
+use crate::vector;
+
+/// Thin SVD `A = U Σ Vᵀ` of an `m × n` matrix (`m ≥ n` internally; wide
+/// inputs are transposed transparently).
+///
+/// The SVDMOR baseline ([11] in the paper) compresses terminals by taking
+/// the SVD of the DC moment matrix `M₀ = −L G⁻¹ B`; sizes there are
+/// `p × m` (tens to ~1.5k), well within reach of one-sided Jacobi, which is
+/// simple and very accurate for small singular values.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × r` with `r = min(m, n)`.
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × r` (columns, not transposed).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotConverged`] if Jacobi sweeps fail to reduce
+    /// off-diagonal correlation below tolerance (practically unreachable for
+    /// finite inputs).
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m >= n {
+            Self::compute_tall(a)
+        } else {
+            // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ.
+            let t = Self::compute_tall(&a.transpose())?;
+            Ok(Svd {
+                u: t.v,
+                sigma: t.sigma,
+                v: t.u,
+            })
+        }
+    }
+
+    fn compute_tall(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        debug_assert!(m >= n);
+        // Work on columns of W = A; V accumulates the right rotations.
+        let mut w: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+        let mut v = Matrix::identity(n);
+        let max_sweeps = 60;
+        let tol = 1e-14;
+        let mut converged = false;
+        for _ in 0..max_sweeps {
+            let mut off = 0.0_f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let alpha = vector::dot(&w[p], &w[p]);
+                    let beta = vector::dot(&w[q], &w[q]);
+                    let gamma = vector::dot(&w[p], &w[q]);
+                    if alpha == 0.0 || beta == 0.0 {
+                        continue;
+                    }
+                    let denom = (alpha * beta).sqrt();
+                    off = off.max(gamma.abs() / denom);
+                    if gamma.abs() <= tol * denom {
+                        continue;
+                    }
+                    // Jacobi rotation zeroing the (p,q) correlation.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    let (wp, wq) = split_two(&mut w, p, q);
+                    for (xp, xq) in wp.iter_mut().zip(wq.iter_mut()) {
+                        let tp = *xp;
+                        *xp = c * tp - s * *xq;
+                        *xq = s * tp + c * *xq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off <= tol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NotConverged {
+                method: "jacobi-svd",
+                iterations: max_sweeps,
+                residual: f64::NAN,
+            });
+        }
+        // Column norms are the singular values.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = w.iter().map(|c| vector::norm2(c)).collect();
+        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+        let mut u = Matrix::zeros(m, n);
+        let mut vv = Matrix::zeros(n, n);
+        let mut sigma = Vec::with_capacity(n);
+        for (dst, &src) in order.iter().enumerate() {
+            let s = norms[src];
+            sigma.push(s);
+            if s > 0.0 {
+                for i in 0..m {
+                    u[(i, dst)] = w[src][i] / s;
+                }
+            } else {
+                // Null direction: leave the column zero (rank-deficient).
+            }
+            for i in 0..n {
+                vv[(i, dst)] = v[(i, src)];
+            }
+        }
+        Ok(Svd { u, sigma, v: vv })
+    }
+
+    /// Numerical rank: number of σᵢ > `tol * σ₀`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let s0 = self.sigma.first().copied().unwrap_or(0.0);
+        self.sigma.iter().filter(|&&s| s > tol * s0).count()
+    }
+
+    /// Reconstructs `A ≈ U_k Σ_k V_kᵀ` keeping the leading `k` singular triplets.
+    pub fn truncate(&self, k: usize) -> Matrix {
+        let k = k.min(self.sigma.len());
+        let m = self.u.nrows();
+        let n = self.v.nrows();
+        let mut out = Matrix::zeros(m, n);
+        for t in 0..k {
+            let s = self.sigma[t];
+            for i in 0..m {
+                let uis = self.u[(i, t)] * s;
+                if uis == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += uis * self.v[(j, t)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Borrows two distinct elements of a slice mutably.
+fn split_two<T>(v: &mut [T], p: usize, q: usize) -> (&mut T, &mut T) {
+    debug_assert!(p < q);
+    let (lo, hi) = v.split_at_mut(q);
+    (&mut lo[p], &mut hi[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(q: &Matrix, k: usize, tol: f64) {
+        for a in 0..k {
+            for b in a..k {
+                let d = vector::dot(&q.col(a), &q.col(b));
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < tol, "col {a}·col {b} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 5.0], &[0.0, 0.0]]);
+        let svd = Svd::compute(&a).unwrap();
+        assert!((svd.sigma[0] - 5.0).abs() < 1e-13);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i as f64 + 1.0) * (j as f64 + 0.5)).sin());
+        let svd = Svd::compute(&a).unwrap();
+        let back = svd.truncate(4);
+        assert!(back.sub(&a).unwrap().norm_max() < 1e-12);
+        assert_orthonormal_cols(&svd.u, svd.rank(1e-12), 1e-12);
+        assert_orthonormal_cols(&svd.v, 4, 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_wide() {
+        let a = Matrix::from_fn(3, 7, |i, j| (i * 7 + j) as f64 * 0.1 + if i == j { 1.0 } else { 0.0 });
+        let svd = Svd::compute(&a).unwrap();
+        let back = svd.truncate(3);
+        assert!(back.sub(&a).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // a = u vᵀ with u = [1,2,3]ᵀ, v = [4,5]ᵀ.
+        let a = Matrix::from_rows(&[&[4.0, 5.0], &[8.0, 10.0], &[12.0, 15.0]]);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        let expect = (14.0_f64 * 41.0).sqrt(); // ‖u‖‖v‖
+        assert!((svd.sigma[0] - expect).abs() < 1e-12);
+        let back = svd.truncate(1);
+        assert!(back.sub(&a).unwrap().norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn singular_values_are_descending() {
+        let a = Matrix::from_fn(8, 5, |i, j| ((3 * i + 2 * j) as f64).cos() * 2.0);
+        let svd = Svd::compute(&a).unwrap();
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn truncation_error_bounded_by_next_sigma() {
+        let a = Matrix::from_fn(6, 6, |i, j| 1.0 / (1.0 + i as f64 + j as f64));
+        let svd = Svd::compute(&a).unwrap();
+        for k in 1..6 {
+            let err = svd.truncate(k).sub(&a).unwrap();
+            // Spectral norm ≥ max entry; σ_{k+1} bounds the spectral norm of
+            // the remainder, so the max entry must be ≤ σ_{k+1} (+ slack).
+            let next = svd.sigma.get(k).copied().unwrap_or(0.0);
+            assert!(err.norm_max() <= next + 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+        assert_eq!(svd.rank(1e-10), 0);
+    }
+}
