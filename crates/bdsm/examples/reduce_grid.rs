@@ -1,0 +1,82 @@
+//! Reduce a synthetic RC grid and compare full vs reduced models.
+//!
+//! Usage: `cargo run --release --example reduce_grid [rows] [cols] [blocks]`
+
+use bdsm::core::krylov::KrylovOpts;
+use bdsm::core::reduce::{reduce_network, ReductionOpts};
+use bdsm::core::synth::rc_grid;
+use bdsm::core::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+use bdsm::linalg::Complex64;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().map_or(Ok(20), |a| a.parse())?;
+    let cols: usize = args.next().map_or(Ok(25), |a| a.parse())?;
+    let blocks: usize = args.next().map_or(Ok(5), |a| a.parse())?;
+
+    let net = rc_grid(rows, cols, 1.0, 1e-3, 2.0);
+    println!(
+        "grid {rows}x{cols}: {} buses, partitioning into {blocks} blocks",
+        net.num_buses()
+    );
+
+    let opts = ReductionOpts {
+        num_blocks: blocks,
+        krylov: KrylovOpts {
+            expansion_points: vec![],
+            jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
+            moments_per_point: 2,
+            deflation_tol: 1e-12,
+        },
+        rank_tol: 1e-12,
+        max_reduced_dim: Some(net.num_buses() / 5),
+    };
+
+    let t0 = Instant::now();
+    let rm = reduce_network(&net, &opts)?;
+    let t_reduce = t0.elapsed();
+    println!(
+        "reduced {} -> {} states ({} blocks, dims {:?}) in {t_reduce:.2?}",
+        rm.full_dim(),
+        rm.reduced_dim(),
+        rm.projector.num_blocks(),
+        rm.projector.block_dims(),
+    );
+
+    let full_ev = TransferEvaluator::new(
+        rm.full.g.clone(),
+        rm.full.c.clone(),
+        rm.full.b.clone(),
+        rm.full.l.clone(),
+    )?;
+    println!(
+        "full-model evaluator fast path: {}",
+        full_ev.uses_fast_path()
+    );
+
+    println!(
+        "{:>12}  {:>12}  {:>12}  {:>10}",
+        "omega", "|H11| full", "|H11| red", "rel err"
+    );
+    let mut t_full = std::time::Duration::ZERO;
+    let mut t_red = std::time::Duration::ZERO;
+    for i in 0..10 {
+        let omega = 50.0 * (4000.0_f64 / 50.0).powf(i as f64 / 9.0);
+        let s = Complex64::jomega(omega);
+        let t = Instant::now();
+        let hf = full_ev.eval(s)?;
+        t_full += t.elapsed();
+        let t = Instant::now();
+        let hr = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s)?;
+        t_red += t.elapsed();
+        println!(
+            "{omega:>12.2}  {:>12.6e}  {:>12.6e}  {:>10.2e}",
+            hf[(0, 0)].abs(),
+            hr[(0, 0)].abs(),
+            transfer_rel_err(&hf, &hr)
+        );
+    }
+    println!("eval time over 10 freqs: full {t_full:.2?}, reduced {t_red:.2?}");
+    Ok(())
+}

@@ -1,0 +1,263 @@
+//! Modified nodal analysis (MNA): network → descriptor form `(G, C, B, L)`.
+//!
+//! The assembled system is the standard passive descriptor model
+//!
+//! ```text
+//!     C ẋ + G x = B u,      y = L x,
+//! ```
+//!
+//! with state `x = [node voltages | inductor currents | v-source currents]`.
+//! Element stamps follow the symmetric/skew convention that keeps `C`
+//! symmetric positive semi-definite and `G = [[Gᵣ, E], [−Eᵀ, 0]]`, so a
+//! congruence projection preserves passivity for RC/RLC grids:
+//!
+//! - resistor `g = 1/R` between `a, b`: `G[a,a] += g`, `G[b,b] += g`,
+//!   `G[a,b] −= g`, `G[b,a] −= g`;
+//! - capacitor: same pattern into `C`;
+//! - inductor with current state `q`: branch row `L di/dt − (v_a − v_b) = 0`
+//!   gives `C[q,q] = L`, `G[q,a] = −1`, `G[q,b] = +1`; KCL columns
+//!   `G[a,q] = +1`, `G[b,q] = −1`;
+//! - current source into `a`: `B[a, input] = 1`;
+//! - voltage source with current state `q`: KCL columns `G[plus,q] = +1`,
+//!   `G[minus,q] = −1`; branch row `−(v_plus − v_minus) = −u` gives
+//!   `G[q,plus] = −1`, `G[q,minus] = +1`, `B[q, input] = −1`;
+//! - probe at `a`: `L[output, a] = 1`.
+//!
+//! Ground terminals simply drop their stamps.
+
+use crate::network::{ElementKind, Network, Result, GROUND};
+use crate::sparse::CooMatrix;
+
+/// Where a descriptor state comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateKind {
+    /// Voltage of the given bus.
+    NodeVoltage(usize),
+    /// Current through the inductor at the given element index.
+    InductorCurrent(usize),
+    /// Current through the given voltage source.
+    VsourceCurrent(usize),
+}
+
+/// Descriptor-form model `(G, C, B, L)` produced by MNA assembly.
+#[derive(Debug, Clone)]
+pub struct Descriptor {
+    /// Conductance/incidence matrix `G` (n × n).
+    pub g: CooMatrix,
+    /// Storage matrix `C` (n × n), symmetric PSD.
+    pub c: CooMatrix,
+    /// Input map `B` (n × m).
+    pub b: CooMatrix,
+    /// Output map `L` (p × n).
+    pub l: CooMatrix,
+    /// Origin of each state, indexed by state number.
+    pub states: Vec<StateKind>,
+}
+
+impl Descriptor {
+    /// State dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of inputs `m`.
+    pub fn num_inputs(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Number of outputs `p`.
+    pub fn num_outputs(&self) -> usize {
+        self.l.nrows()
+    }
+}
+
+/// Assembles the MNA descriptor model of a network.
+///
+/// # Errors
+///
+/// Returns [`crate::CircuitError::EmptyNetwork`] if the network has no buses.
+pub fn assemble(net: &Network) -> Result<Descriptor> {
+    if net.num_buses() == 0 {
+        return Err(crate::network::CircuitError::EmptyNetwork);
+    }
+    let nb = net.num_buses();
+    let inductors: Vec<usize> = net
+        .elements()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| matches!(e.kind, ElementKind::Inductor(_)).then_some(i))
+        .collect();
+    let n = nb + inductors.len() + net.voltage_sources().len();
+    let m = net.num_inputs();
+    let p = net.num_outputs();
+
+    let mut states: Vec<StateKind> = (0..nb).map(StateKind::NodeVoltage).collect();
+    states.extend(inductors.iter().map(|&e| StateKind::InductorCurrent(e)));
+    states.extend((0..net.voltage_sources().len()).map(StateKind::VsourceCurrent));
+
+    let mut g = CooMatrix::new(n, n);
+    let mut c = CooMatrix::new(n, n);
+    let mut b = CooMatrix::new(n, m);
+    let mut l = CooMatrix::new(p, n);
+
+    // Conductance-pattern stamp: M[a,a] += v, M[b,b] += v, M[a,b] -= v, ...
+    let stamp_pair = |mat: &mut CooMatrix, a: usize, bn: usize, v: f64| {
+        if a != GROUND {
+            mat.push(a, a, v);
+        }
+        if bn != GROUND {
+            mat.push(bn, bn, v);
+        }
+        if a != GROUND && bn != GROUND {
+            mat.push(a, bn, -v);
+            mat.push(bn, a, -v);
+        }
+    };
+
+    let mut next_branch_state = nb;
+    for (ei, e) in net.elements().iter().enumerate() {
+        match e.kind {
+            ElementKind::Resistor(r) => stamp_pair(&mut g, e.a, e.b, 1.0 / r),
+            ElementKind::Capacitor(cap) => stamp_pair(&mut c, e.a, e.b, cap),
+            ElementKind::Inductor(ind) => {
+                let q = next_branch_state;
+                next_branch_state += 1;
+                debug_assert_eq!(states[q], StateKind::InductorCurrent(ei));
+                c.push(q, q, ind);
+                if e.a != GROUND {
+                    g.push(q, e.a, -1.0);
+                    g.push(e.a, q, 1.0);
+                }
+                if e.b != GROUND {
+                    g.push(q, e.b, 1.0);
+                    g.push(e.b, q, -1.0);
+                }
+            }
+        }
+    }
+
+    for (si, src) in net.current_sources().iter().enumerate() {
+        b.push(src.node, si, 1.0);
+    }
+    let m_offset = net.current_sources().len();
+    for (si, src) in net.voltage_sources().iter().enumerate() {
+        let q = next_branch_state;
+        next_branch_state += 1;
+        debug_assert_eq!(states[q], StateKind::VsourceCurrent(si));
+        if src.plus != GROUND {
+            g.push(src.plus, q, 1.0);
+            g.push(q, src.plus, -1.0);
+        }
+        if src.minus != GROUND {
+            g.push(src.minus, q, -1.0);
+            g.push(q, src.minus, 1.0);
+        }
+        b.push(q, m_offset + si, -1.0);
+    }
+
+    for (pi, probe) in net.probes().iter().enumerate() {
+        l.push(pi, probe.node, 1.0);
+    }
+
+    Ok(Descriptor { g, c, b, l, states })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    /// Two-node RC: port at node 0, R to node 1, C to ground, load R to ground.
+    fn rc_pair() -> (Network, Descriptor) {
+        let mut net = Network::new();
+        let a = net.add_bus("a");
+        let b = net.add_bus("b");
+        net.add_resistor(a, b, 2.0).unwrap();
+        net.add_capacitor(b, GROUND, 3.0).unwrap();
+        net.add_resistor(b, GROUND, 4.0).unwrap();
+        net.add_port(a).unwrap();
+        let d = assemble(&net).unwrap();
+        (net, d)
+    }
+
+    #[test]
+    fn rc_stamps_match_hand_calculation() {
+        let (_, d) = rc_pair();
+        assert_eq!(d.dim(), 2);
+        let g = d.g.to_dense();
+        let c = d.c.to_dense();
+        // G = [[1/2, -1/2], [-1/2, 1/2 + 1/4]]
+        assert_eq!(g[(0, 0)], 0.5);
+        assert_eq!(g[(0, 1)], -0.5);
+        assert_eq!(g[(1, 0)], -0.5);
+        assert!((g[(1, 1)] - 0.75).abs() < 1e-15);
+        // C = diag(0, 3)
+        assert_eq!(c[(0, 0)], 0.0);
+        assert_eq!(c[(1, 1)], 3.0);
+        let b = d.b.to_dense();
+        let l = d.l.to_dense();
+        assert_eq!(b[(0, 0)], 1.0);
+        assert_eq!(l[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn inductor_adds_state_with_skew_coupling() {
+        let mut net = Network::new();
+        let a = net.add_bus("a");
+        let b = net.add_bus("b");
+        net.add_inductor(a, b, 5.0).unwrap();
+        net.add_capacitor(b, GROUND, 1.0).unwrap();
+        net.add_port(a).unwrap();
+        let d = assemble(&net).unwrap();
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.states[2], StateKind::InductorCurrent(0));
+        let g = d.g.to_dense();
+        let c = d.c.to_dense();
+        assert_eq!(c[(2, 2)], 5.0);
+        // KCL column and branch row are skew: G[a,q] = -G[q,a].
+        assert_eq!(g[(0, 2)], 1.0);
+        assert_eq!(g[(2, 0)], -1.0);
+        assert_eq!(g[(1, 2)], -1.0);
+        assert_eq!(g[(2, 1)], 1.0);
+    }
+
+    #[test]
+    fn voltage_source_forces_node_voltage() {
+        // V-source at node a, R to ground: solve G x = B u at DC.
+        let mut net = Network::new();
+        let a = net.add_bus("a");
+        net.add_resistor(a, GROUND, 2.0).unwrap();
+        net.add_voltage_source(a, GROUND).unwrap();
+        net.add_probe(a).unwrap();
+        let d = assemble(&net).unwrap();
+        assert_eq!(d.dim(), 2);
+        let g = d.g.to_dense();
+        let b = d.b.to_dense();
+        // States [v_a, i_V]: G = [[1/2, 1], [-1, 0]], B = [0, -1]ᵀ.
+        // DC solve for u = 1: second row gives -v_a = -1 → v_a = 1. ✓
+        let lu = bdsm_linalg::DenseLu::factor(&g).unwrap();
+        let x = lu.solve(&b.col(0)).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        // Source current: v_a/R = 0.5 flows out of the source.
+        assert!((x[1] + 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        let net = Network::new();
+        assert!(matches!(
+            assemble(&net),
+            Err(crate::network::CircuitError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn c_matrix_is_symmetric_psd_for_rc() {
+        let (_, d) = rc_pair();
+        let c = d.c.to_dense();
+        let ct = c.transpose();
+        assert!(c.sub(&ct).unwrap().norm_max() == 0.0);
+        let eig = bdsm_linalg::SymEig::compute(&c).unwrap();
+        assert!(eig.min().unwrap() >= -1e-15);
+    }
+}

@@ -1,0 +1,269 @@
+//! Graph partitioning of a network into `k` connected blocks.
+//!
+//! The BDSM scheme projects each block with its own basis, so the partition
+//! is the load-bearing structural decision: blocks must be connected (a
+//! disconnected "block" wastes basis vectors on decoupled dynamics) and the
+//! interface set — buses with at least one neighbour in a different block —
+//! is what the paper's error analysis ties the coupling strength to.
+//!
+//! The partitioner here is a deterministic BFS-growth heuristic: grow each
+//! block from a peripheral (minimum-unassigned-degree) bus until it reaches
+//! an adaptive target size, then start the next block. Blocks are connected
+//! by construction; on connected graphs with reasonable `k` the result is
+//! exactly `k` near-balanced blocks.
+
+use crate::mna::{Descriptor, StateKind};
+use crate::network::{CircuitError, Network, Result, GROUND};
+use std::collections::VecDeque;
+
+/// A partition of the network's buses into connected blocks.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// `block_of_node[bus] = block index`.
+    pub block_of_node: Vec<usize>,
+    /// Bus indices per block, each sorted ascending.
+    pub blocks: Vec<Vec<usize>>,
+    /// Buses with at least one neighbour in a different block, sorted.
+    pub interface: Vec<usize>,
+}
+
+impl Partition {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Splits the network into (at least) `k` connected blocks.
+///
+/// On a connected graph this produces exactly `k` blocks; if the network
+/// graph is disconnected, each extra component can add a block.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidPartition`] if `k` is zero or exceeds the
+/// number of buses, or [`CircuitError::EmptyNetwork`] on an empty network.
+pub fn partition_network(net: &Network, k: usize) -> Result<Partition> {
+    let n = net.num_buses();
+    if n == 0 {
+        return Err(CircuitError::EmptyNetwork);
+    }
+    if k == 0 {
+        return Err(CircuitError::InvalidPartition {
+            what: "number of blocks must be at least 1",
+        });
+    }
+    if k > n {
+        return Err(CircuitError::InvalidPartition {
+            what: "more blocks than buses",
+        });
+    }
+
+    let adj = net.adjacency();
+    let mut block_of_node = vec![usize::MAX; n];
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let mut assigned = 0usize;
+
+    while assigned < n {
+        // Adaptive target keeps later blocks from starving when earlier BFS
+        // growth stopped short at a component boundary.
+        let remaining_blocks = k.saturating_sub(blocks.len()).max(1);
+        let target = (n - assigned).div_ceil(remaining_blocks);
+
+        // Seed at a peripheral bus: the unassigned bus with the fewest
+        // unassigned neighbours (ties → lowest index). Growing inward from
+        // the periphery keeps chains and radial feeders contiguous instead
+        // of flooding outward from a hub and stranding disconnected tails.
+        let seed = (0..n)
+            .filter(|&u| block_of_node[u] == usize::MAX)
+            .min_by_key(|&u| {
+                let deg = adj[u]
+                    .iter()
+                    .filter(|&&v| block_of_node[v] == usize::MAX)
+                    .count();
+                (deg, u)
+            })
+            .expect("unassigned bus exists while assigned < n");
+        let block_id = blocks.len();
+        let mut members = Vec::with_capacity(target);
+        let mut queue = VecDeque::from([seed]);
+        block_of_node[seed] = block_id;
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            if members.len() + queue.len() >= target {
+                // Drain what's already claimed for this block, then stop.
+                while let Some(v) = queue.pop_front() {
+                    members.push(v);
+                }
+                break;
+            }
+            for &v in &adj[u] {
+                if block_of_node[v] == usize::MAX {
+                    block_of_node[v] = block_id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assigned += members.len();
+        members.sort_unstable();
+        blocks.push(members);
+    }
+
+    let mut interface: Vec<usize> = (0..n)
+        .filter(|&u| adj[u].iter().any(|&v| block_of_node[v] != block_of_node[u]))
+        .collect();
+    interface.sort_unstable();
+
+    Ok(Partition {
+        block_of_node,
+        blocks,
+        interface,
+    })
+}
+
+/// Groups descriptor states by partition block.
+///
+/// Node-voltage states follow their bus's block; inductor and voltage-source
+/// current states follow the block of their first non-ground terminal.
+///
+/// Returns `(new_of_old, block_sizes)`: `new_of_old[old_state] = new_state`
+/// is the symmetric permutation that makes the descriptor block-contiguous,
+/// and `block_sizes[i]` is the number of states in block `i` after grouping.
+pub fn grouped_state_order(
+    net: &Network,
+    desc: &Descriptor,
+    part: &Partition,
+) -> (Vec<usize>, Vec<usize>) {
+    let block_of_state = |s: &StateKind| -> usize {
+        match *s {
+            StateKind::NodeVoltage(bus) => part.block_of_node[bus],
+            StateKind::InductorCurrent(ei) => {
+                let e = &net.elements()[ei];
+                let anchor = if e.a != GROUND { e.a } else { e.b };
+                part.block_of_node[anchor]
+            }
+            StateKind::VsourceCurrent(si) => {
+                let v = &net.voltage_sources()[si];
+                let anchor = if v.plus != GROUND { v.plus } else { v.minus };
+                part.block_of_node[anchor]
+            }
+        }
+    };
+
+    let k = part.num_blocks();
+    let mut new_of_old = vec![0usize; desc.dim()];
+    let mut block_sizes = vec![0usize; k];
+    let mut next = 0usize;
+    for (blk, size) in block_sizes.iter_mut().enumerate() {
+        for (old, s) in desc.states.iter().enumerate() {
+            if block_of_state(s) == blk {
+                new_of_old[old] = next;
+                next += 1;
+                *size += 1;
+            }
+        }
+    }
+    debug_assert_eq!(next, desc.dim());
+    (new_of_old, block_sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mna::assemble;
+    use crate::network::Network;
+
+    fn chain(n: usize) -> Network {
+        let mut net = Network::new();
+        let buses: Vec<usize> = (0..n).map(|i| net.add_bus(format!("b{i}"))).collect();
+        for w in buses.windows(2) {
+            net.add_resistor(w[0], w[1], 1.0).unwrap();
+        }
+        for &b in &buses {
+            net.add_capacitor(b, GROUND, 1.0).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn chain_splits_into_contiguous_blocks() {
+        let net = chain(12);
+        let p = partition_network(&net, 3).unwrap();
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.blocks[0], (0..4).collect::<Vec<_>>());
+        assert_eq!(p.blocks[1], (4..8).collect::<Vec<_>>());
+        assert_eq!(p.blocks[2], (8..12).collect::<Vec<_>>());
+        // Interface = the four buses adjacent to a cut.
+        assert_eq!(p.interface, vec![3, 4, 7, 8]);
+    }
+
+    #[test]
+    fn every_block_is_connected() {
+        let net = chain(20);
+        let p = partition_network(&net, 4).unwrap();
+        let adj = net.adjacency();
+        for blk in &p.blocks {
+            // BFS restricted to the block must reach every member.
+            let inside: std::collections::HashSet<_> = blk.iter().copied().collect();
+            let mut seen = std::collections::HashSet::from([blk[0]]);
+            let mut q = VecDeque::from([blk[0]]);
+            while let Some(u) = q.pop_front() {
+                for &v in &adj[u] {
+                    if inside.contains(&v) && seen.insert(v) {
+                        q.push_back(v);
+                    }
+                }
+            }
+            assert_eq!(seen.len(), blk.len(), "block {blk:?} is disconnected");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_get_own_blocks() {
+        let mut net = chain(6);
+        // An isolated island of two buses.
+        let x = net.add_bus("x");
+        let y = net.add_bus("y");
+        net.add_resistor(x, y, 1.0).unwrap();
+        let p = partition_network(&net, 2).unwrap();
+        assert!(p.num_blocks() >= 2);
+        let covered: usize = p.blocks.iter().map(Vec::len).sum();
+        assert_eq!(covered, net.num_buses());
+        // The island must not share a block with the chain.
+        assert_eq!(p.block_of_node[x], p.block_of_node[y]);
+        assert_ne!(p.block_of_node[x], p.block_of_node[0]);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let net = chain(3);
+        assert!(partition_network(&net, 0).is_err());
+        assert!(partition_network(&net, 4).is_err());
+        assert!(partition_network(&Network::new(), 1).is_err());
+    }
+
+    #[test]
+    fn grouped_state_order_is_block_contiguous() {
+        let mut net = chain(8);
+        // Add an inductor anchored in the second half.
+        net.add_inductor(6, 7, 1e-3).unwrap();
+        net.add_port(0).unwrap();
+        let d = assemble(&net).unwrap();
+        let p = partition_network(&net, 2).unwrap();
+        let (new_of_old, sizes) = grouped_state_order(&net, &d, &p);
+        assert_eq!(sizes.iter().sum::<usize>(), d.dim());
+        assert_eq!(sizes.len(), 2);
+        // The inductor current state (last old state) anchors at bus 6 → block 1.
+        assert_eq!(sizes, vec![4, 5]);
+        // Permutation is a bijection.
+        let mut seen = vec![false; d.dim()];
+        for &v in &new_of_old {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        // States of block 0 come first.
+        for &pos in &new_of_old[0..4] {
+            assert!(pos < 4);
+        }
+    }
+}

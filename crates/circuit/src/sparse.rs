@@ -1,0 +1,218 @@
+//! Minimal coordinate-format (COO) sparse matrix.
+//!
+//! MNA stamping is naturally additive — each circuit element contributes a
+//! handful of `(row, col, value)` triplets — so the assembly layer works in
+//! COO and densifies only at the projection/factorization boundary where the
+//! dense kernels of `bdsm_linalg` take over. Duplicate triplets are allowed
+//! and sum implicitly, exactly like the classic SPICE stamp table.
+
+use bdsm_linalg::Matrix;
+
+/// A sparse matrix stored as unsorted, possibly-duplicated triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate.
+    ///
+    /// Zero values are skipped so element loops can stamp unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "CooMatrix::push: ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        if value != 0.0 {
+            self.triplets.push((row, col, value));
+        }
+    }
+
+    /// Iterates over stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.triplets.iter()
+    }
+
+    /// Densifies into a `bdsm_linalg::Matrix`, summing duplicates.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for &(i, j, v) in &self.triplets {
+            m[(i, j)] += v;
+        }
+        m
+    }
+
+    /// Sparse matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "CooMatrix::matvec: length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for &(i, j, v) in &self.triplets {
+            y[i] += v * x[j];
+        }
+        y
+    }
+
+    /// Returns a copy with rows renumbered: new row index = `new_of_old[row]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_of_old.len() != nrows`.
+    pub fn permute_rows(&self, new_of_old: &[usize]) -> CooMatrix {
+        assert_eq!(
+            new_of_old.len(),
+            self.nrows,
+            "permute_rows: length mismatch"
+        );
+        let triplets = self
+            .triplets
+            .iter()
+            .map(|&(i, j, v)| (new_of_old[i], j, v))
+            .collect();
+        CooMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            triplets,
+        }
+    }
+
+    /// Returns a copy with columns renumbered: new col index = `new_of_old[col]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_of_old.len() != ncols`.
+    pub fn permute_cols(&self, new_of_old: &[usize]) -> CooMatrix {
+        assert_eq!(
+            new_of_old.len(),
+            self.ncols,
+            "permute_cols: length mismatch"
+        );
+        let triplets = self
+            .triplets
+            .iter()
+            .map(|&(i, j, v)| (i, new_of_old[j], v))
+            .collect();
+        CooMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            triplets,
+        }
+    }
+
+    /// Symmetric renumbering of a square matrix (rows and columns together),
+    /// the operation that groups descriptor states by partition block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn permute_symmetric(&self, new_of_old: &[usize]) -> CooMatrix {
+        assert_eq!(self.nrows, self.ncols, "permute_symmetric: must be square");
+        self.permute_rows(new_of_old).permute_cols(new_of_old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_accumulates_duplicates() {
+        let mut a = CooMatrix::new(2, 2);
+        a.push(0, 0, 1.5);
+        a.push(0, 0, 2.5);
+        a.push(1, 0, -1.0);
+        a.push(1, 1, 0.0); // dropped
+        assert_eq!(a.nnz(), 3);
+        let d = a.to_dense();
+        assert_eq!(d[(0, 0)], 4.0);
+        assert_eq!(d[(1, 0)], -1.0);
+        assert_eq!(d[(1, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_rejects_out_of_bounds() {
+        let mut a = CooMatrix::new(1, 1);
+        a.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut a = CooMatrix::new(3, 2);
+        a.push(0, 0, 2.0);
+        a.push(1, 1, 3.0);
+        a.push(2, 0, 1.0);
+        a.push(2, 1, -1.0);
+        let x = [1.0, 2.0];
+        assert_eq!(a.matvec(&x), a.to_dense().matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn symmetric_permutation_reorders_diagonal() {
+        let mut a = CooMatrix::new(3, 3);
+        a.push(0, 0, 1.0);
+        a.push(1, 1, 2.0);
+        a.push(2, 2, 3.0);
+        a.push(0, 2, 9.0);
+        // Reverse the ordering.
+        let p = a.permute_symmetric(&[2, 1, 0]).to_dense();
+        assert_eq!(p[(2, 2)], 1.0);
+        assert_eq!(p[(1, 1)], 2.0);
+        assert_eq!(p[(0, 0)], 3.0);
+        assert_eq!(p[(2, 0)], 9.0);
+    }
+
+    #[test]
+    fn row_and_col_permutations_are_independent() {
+        let mut b = CooMatrix::new(2, 3);
+        b.push(0, 1, 5.0);
+        let rb = b.permute_rows(&[1, 0]).to_dense();
+        assert_eq!(rb[(1, 1)], 5.0);
+        let cb = b.permute_cols(&[2, 0, 1]).to_dense();
+        assert_eq!(cb[(0, 0)], 5.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Block-diagonal projection `V = diag(V₁, …, V_k)` and congruence
+//! transforms — the "structured" part of BDSM.
+//!
+//! Given a global moment-matching basis `V_g` and a block partition of the
+//! states, each block takes the column space of its own row slice of `V_g`
+//! (compressed by SVD with a rank tolerance). Because
+//! `span(diag(V₁,…,V_k)) ⊇ span(V_g)`, the block-diagonal projector matches
+//! at least as many moments as the global one while keeping the reduced
+//! matrices block-structured — sparsity the flat projector destroys.
+
+use bdsm_linalg::{LinalgError, Matrix, Result, Svd};
+
+/// An orthonormal block-diagonal projection matrix.
+#[derive(Debug, Clone)]
+pub struct BlockDiagProjector {
+    blocks: Vec<Matrix>,
+    row_offsets: Vec<usize>,
+    col_offsets: Vec<usize>,
+}
+
+impl BlockDiagProjector {
+    /// Builds the projector from a global basis and per-block state counts.
+    ///
+    /// Block `i` keeps the left singular vectors of its (column-normalized)
+    /// row slice of `global` whose singular values exceed `rank_tol · σ_max`,
+    /// capped at `max_block_dim` dominant directions when given (the knob
+    /// that enforces a reduced-dimension budget). A block whose slice is
+    /// numerically zero keeps a single canonical unit vector so every block
+    /// retains at least one reduced state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if the block sizes do not
+    /// sum to the basis row count or contain a zero, and propagates SVD
+    /// failures.
+    pub fn from_global_basis(
+        global: &Matrix,
+        block_sizes: &[usize],
+        rank_tol: f64,
+        max_block_dim: Option<usize>,
+    ) -> Result<Self> {
+        if block_sizes.iter().sum::<usize>() != global.nrows() {
+            return Err(LinalgError::InvalidArgument {
+                what: "projector: block sizes must sum to the state dimension",
+            });
+        }
+        if block_sizes.contains(&0) {
+            return Err(LinalgError::InvalidArgument {
+                what: "projector: empty blocks are not allowed",
+            });
+        }
+        let mut blocks = Vec::with_capacity(block_sizes.len());
+        let mut row0 = 0;
+        for &size in block_sizes {
+            let slice = global.submatrix(row0, row0 + size, 0, global.ncols());
+            // Krylov content decays exponentially away from the ports, so a
+            // far block's slice can be tiny down to subnormal. Normalizing
+            // each column (and dropping numerically dead ones) keeps every
+            // moment direction that reaches the block, at any magnitude,
+            // and protects the Jacobi SVD from under/overflow.
+            let mut cols: Vec<Vec<f64>> = Vec::new();
+            for j in 0..slice.ncols() {
+                let mut col = slice.col(j);
+                let norm = bdsm_linalg::vector::norm2(&col);
+                if norm > 1e-150 {
+                    bdsm_linalg::vector::scale(1.0 / norm, &mut col);
+                    cols.push(col);
+                }
+            }
+            let vi = if cols.is_empty() {
+                let mut e = Matrix::zeros(size, 1);
+                e[(0, 0)] = 1.0;
+                e
+            } else {
+                let svd = Svd::compute(&Matrix::from_cols(&cols))?;
+                let sigma_max = svd.sigma.first().copied().unwrap_or(0.0);
+                let mut rank = svd
+                    .sigma
+                    .iter()
+                    .filter(|&&s| s > rank_tol * sigma_max)
+                    .count()
+                    .max(1);
+                if let Some(cap) = max_block_dim {
+                    rank = rank.min(cap.max(1));
+                }
+                svd.u.submatrix(0, size, 0, rank)
+            };
+            blocks.push(vi);
+            row0 += size;
+        }
+        Ok(Self::from_blocks(blocks))
+    }
+
+    /// Assembles a projector directly from per-block orthonormal bases.
+    pub fn from_blocks(blocks: Vec<Matrix>) -> Self {
+        let mut row_offsets = vec![0];
+        let mut col_offsets = vec![0];
+        for b in &blocks {
+            row_offsets.push(row_offsets.last().unwrap() + b.nrows());
+            col_offsets.push(col_offsets.last().unwrap() + b.ncols());
+        }
+        BlockDiagProjector {
+            blocks,
+            row_offsets,
+            col_offsets,
+        }
+    }
+
+    /// Number of blocks `k`.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Full state dimension `n` (sum of block rows).
+    pub fn nrows(&self) -> usize {
+        *self.row_offsets.last().unwrap()
+    }
+
+    /// Reduced dimension `q` (sum of block columns).
+    pub fn ncols(&self) -> usize {
+        *self.col_offsets.last().unwrap()
+    }
+
+    /// The per-block reduced dimensions `qᵢ`.
+    pub fn block_dims(&self) -> Vec<usize> {
+        self.blocks.iter().map(Matrix::ncols).collect()
+    }
+
+    /// Basis of block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn block(&self, i: usize) -> &Matrix {
+        &self.blocks[i]
+    }
+
+    /// Densifies `V = diag(V₁, …, V_k)`; off-block entries are exactly zero.
+    pub fn to_dense(&self) -> Matrix {
+        let mut v = Matrix::zeros(self.nrows(), self.ncols());
+        for (i, b) in self.blocks.iter().enumerate() {
+            v.set_block(self.row_offsets[i], self.col_offsets[i], b);
+        }
+        v
+    }
+
+    /// Worst per-block deviation from orthonormality, `max‖VᵢᵀVᵢ − I‖_max`.
+    pub fn orthonormality_error(&self) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| {
+                let gram = b.transpose().matmul(b).expect("square product");
+                gram.sub(&Matrix::identity(b.ncols()))
+                    .expect("same shape")
+                    .norm_max()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Congruence transform `VᵀAV`, computed block-pair by block-pair so the
+    /// cost scales with the block structure rather than `n²q²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `a` is not `n × n`.
+    pub fn project_square(&self, a: &Matrix) -> Result<Matrix> {
+        let n = self.nrows();
+        if a.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "project-square",
+                lhs: (n, n),
+                rhs: a.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.ncols(), self.ncols());
+        for i in 0..self.num_blocks() {
+            let (r0, r1) = (self.row_offsets[i], self.row_offsets[i + 1]);
+            for j in 0..self.num_blocks() {
+                let (c0, c1) = (self.row_offsets[j], self.row_offsets[j + 1]);
+                let aij = a.submatrix(r0, r1, c0, c1);
+                let prod = self.blocks[i]
+                    .transpose()
+                    .matmul(&aij)?
+                    .matmul(&self.blocks[j])?;
+                out.set_block(self.col_offsets[i], self.col_offsets[j], &prod);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Input projection `VᵀB` (`q × m`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` does not have `n` rows.
+    pub fn project_input(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.nrows();
+        if b.nrows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "project-input",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.ncols(), b.ncols());
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let slice = b.submatrix(self.row_offsets[i], self.row_offsets[i + 1], 0, b.ncols());
+            let prod = blk.transpose().matmul(&slice)?;
+            out.set_block(self.col_offsets[i], 0, &prod);
+        }
+        Ok(out)
+    }
+
+    /// Output projection `LV` (`p × q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `l` does not have `n` columns.
+    pub fn project_output(&self, l: &Matrix) -> Result<Matrix> {
+        let n = self.nrows();
+        if l.ncols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "project-output",
+                lhs: (n, n),
+                rhs: l.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(l.nrows(), self.ncols());
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let slice = l.submatrix(0, l.nrows(), self.row_offsets[i], self.row_offsets[i + 1]);
+            let prod = slice.matmul(blk)?;
+            out.set_block(0, self.col_offsets[i], &prod);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_basis() -> Matrix {
+        // 6 states, 2 basis columns with energy in every block.
+        Matrix::from_fn(6, 2, |i, j| ((i + 1) as f64 * 0.3 + j as f64).sin() + 0.5)
+    }
+
+    #[test]
+    fn block_structure_and_orthonormality() {
+        let v = demo_basis();
+        let p = BlockDiagProjector::from_global_basis(&v, &[2, 2, 2], 1e-12, None).unwrap();
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.nrows(), 6);
+        assert!(p.orthonormality_error() < 1e-13);
+        let dense = p.to_dense();
+        // Off-block entries are exactly zero by construction.
+        let dims = p.block_dims();
+        let mut c0 = 0;
+        for (bi, &q) in dims.iter().enumerate() {
+            for i in 0..6 {
+                for j in c0..c0 + q {
+                    if i / 2 != bi {
+                        assert_eq!(dense[(i, j)], 0.0);
+                    }
+                }
+            }
+            c0 += q;
+        }
+    }
+
+    #[test]
+    fn span_contains_global_basis() {
+        // diag-blocks span every row slice, so V Vᵀ v_g = v_g for each
+        // global column.
+        let vg = demo_basis();
+        let p = BlockDiagProjector::from_global_basis(&vg, &[3, 3], 1e-12, None).unwrap();
+        let v = p.to_dense();
+        for j in 0..vg.ncols() {
+            let col = vg.col(j);
+            let coeffs = v.tr_matvec(&col).unwrap();
+            let back = v.matvec(&coeffs).unwrap();
+            let resid: Vec<f64> = col.iter().zip(&back).map(|(a, b)| a - b).collect();
+            assert!(bdsm_linalg::vector::norm2(&resid) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projections_match_dense_products() {
+        let vg = demo_basis();
+        let p = BlockDiagProjector::from_global_basis(&vg, &[2, 4], 1e-12, None).unwrap();
+        let v = p.to_dense();
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * 7 + j) as f64 * 0.11).cos());
+        let b = Matrix::from_fn(6, 2, |i, j| (i + j) as f64);
+        let l = Matrix::from_fn(3, 6, |i, j| (i as f64 - j as f64) * 0.2);
+
+        let ref_a = v.transpose().matmul(&a).unwrap().matmul(&v).unwrap();
+        let got_a = p.project_square(&a).unwrap();
+        assert!(got_a.sub(&ref_a).unwrap().norm_max() < 1e-13);
+
+        let ref_b = v.transpose().matmul(&b).unwrap();
+        assert!(p.project_input(&b).unwrap().sub(&ref_b).unwrap().norm_max() < 1e-13);
+
+        let ref_l = l.matmul(&v).unwrap();
+        assert!(
+            p.project_output(&l)
+                .unwrap()
+                .sub(&ref_l)
+                .unwrap()
+                .norm_max()
+                < 1e-13
+        );
+    }
+
+    #[test]
+    fn zero_slice_gets_canonical_vector() {
+        // Basis with no energy in the second block.
+        let mut vg = Matrix::zeros(4, 1);
+        vg[(0, 0)] = 1.0;
+        vg[(1, 0)] = -1.0;
+        let p = BlockDiagProjector::from_global_basis(&vg, &[2, 2], 1e-12, None).unwrap();
+        assert_eq!(p.block_dims(), vec![1, 1]);
+        assert_eq!(p.block(1)[(0, 0)], 1.0);
+        assert!(p.orthonormality_error() < 1e-15);
+    }
+
+    #[test]
+    fn rank_tolerance_truncates() {
+        // Two nearly identical columns → rank 1 slice at loose tolerance.
+        let vg = Matrix::from_fn(4, 2, |i, j| (i + 1) as f64 + 1e-13 * j as f64);
+        let p = BlockDiagProjector::from_global_basis(&vg, &[4], 1e-8, None).unwrap();
+        assert_eq!(p.ncols(), 1);
+    }
+
+    #[test]
+    fn bad_sizes_rejected() {
+        let vg = demo_basis();
+        assert!(BlockDiagProjector::from_global_basis(&vg, &[2, 2], 1e-12, None).is_err());
+        assert!(BlockDiagProjector::from_global_basis(&vg, &[6, 0], 1e-12, None).is_err());
+        let p = BlockDiagProjector::from_global_basis(&vg, &[3, 3], 1e-12, None).unwrap();
+        assert!(p.project_square(&Matrix::zeros(5, 5)).is_err());
+        assert!(p.project_input(&Matrix::zeros(5, 1)).is_err());
+        assert!(p.project_output(&Matrix::zeros(1, 5)).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! The BDSM pipeline: network → partition → block bases → reduced model.
+//!
+//! [`reduce_network`] glues the layers together:
+//!
+//! 1. MNA assembly (`bdsm_circuit::mna`) into descriptor form `(G, C, B, L)`;
+//! 2. BFS partition into `k` connected blocks and a symmetric permutation
+//!    that groups descriptor states block-contiguously;
+//! 3. a global moment-matching Krylov basis ([`crate::krylov`]);
+//! 4. the block-diagonal projector `V = diag(V₁,…,V_k)`
+//!    ([`crate::projector`]) and the congruence transforms
+//!    `G_r = VᵀGV`, `C_r = VᵀCV`, `B_r = VᵀB`, `L_r = LV`.
+
+use crate::krylov::{global_krylov_basis, KrylovOpts};
+use crate::projector::BlockDiagProjector;
+use bdsm_circuit::{grouped_state_order, mna, partition_network, CircuitError, Network, Partition};
+use bdsm_linalg::{LinalgError, Matrix};
+use std::fmt;
+
+/// Errors from the reduction pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Circuit-layer failure (assembly, partitioning, validation).
+    Circuit(CircuitError),
+    /// Numerical failure in the linear-algebra kernels.
+    Linalg(LinalgError),
+    /// Inconsistent [`ReductionOpts`].
+    InvalidOptions(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::InvalidOptions(what) => write!(f, "invalid reduction options: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            CoreError::InvalidOptions(_) => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CoreError {
+    fn from(e: CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+/// Result alias for the reduction pipeline.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Options for [`reduce_network`].
+#[derive(Debug, Clone)]
+pub struct ReductionOpts {
+    /// Number of partition blocks `k`.
+    pub num_blocks: usize,
+    /// Moment-matching options for the global basis.
+    pub krylov: KrylovOpts,
+    /// Relative singular-value threshold for per-block rank truncation.
+    pub rank_tol: f64,
+    /// Optional total reduced-dimension budget `q_max`; enforced by capping
+    /// every block at `q_max / k` dominant directions. Must be at least the
+    /// number of blocks (each block keeps one state minimum).
+    pub max_reduced_dim: Option<usize>,
+}
+
+impl Default for ReductionOpts {
+    fn default() -> Self {
+        ReductionOpts {
+            num_blocks: 4,
+            krylov: KrylovOpts::default(),
+            rank_tol: 1e-12,
+            max_reduced_dim: None,
+        }
+    }
+}
+
+/// A dense descriptor model `(G, C, B, L)` in block-grouped state order.
+#[derive(Debug, Clone)]
+pub struct DenseDescriptor {
+    /// Conductance matrix.
+    pub g: Matrix,
+    /// Storage matrix.
+    pub c: Matrix,
+    /// Input map.
+    pub b: Matrix,
+    /// Output map.
+    pub l: Matrix,
+}
+
+impl DenseDescriptor {
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.g.nrows()
+    }
+}
+
+/// Output of the BDSM pipeline: the reduced model plus everything needed to
+/// audit it (projector, partition, permuted full model).
+#[derive(Debug, Clone)]
+pub struct ReducedModel {
+    /// Reduced conductance `VᵀGV`.
+    pub g: Matrix,
+    /// Reduced storage `VᵀCV`.
+    pub c: Matrix,
+    /// Reduced input map `VᵀB`.
+    pub b: Matrix,
+    /// Reduced output map `LV`.
+    pub l: Matrix,
+    /// The block-diagonal projector used.
+    pub projector: BlockDiagProjector,
+    /// The bus partition behind the block structure.
+    pub partition: Partition,
+    /// State permutation (`new_of_old`) applied before projection.
+    pub state_order: Vec<usize>,
+    /// Per-block state counts of the permuted full model.
+    pub block_sizes: Vec<usize>,
+    /// The permuted dense full model (for validation and comparison).
+    pub full: DenseDescriptor,
+}
+
+impl ReducedModel {
+    /// Full state dimension `n`.
+    pub fn full_dim(&self) -> usize {
+        self.full.dim()
+    }
+
+    /// Reduced state dimension `q`.
+    pub fn reduced_dim(&self) -> usize {
+        self.g.nrows()
+    }
+}
+
+/// Runs the full BDSM reduction pipeline on a network.
+///
+/// # Errors
+///
+/// - [`CoreError::Circuit`] if the network is empty, has no ports, or the
+///   partition request is invalid;
+/// - [`CoreError::Linalg`] if a factorization fails (e.g. a singular
+///   `G + s₀C` at an expansion point).
+pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedModel> {
+    if net.num_inputs() == 0 || net.num_outputs() == 0 {
+        return Err(CircuitError::NoPorts.into());
+    }
+    let desc = mna::assemble(net)?;
+    let partition = partition_network(net, opts.num_blocks)?;
+    let (new_of_old, block_sizes) = grouped_state_order(net, &desc, &partition);
+
+    let full = DenseDescriptor {
+        g: desc.g.permute_symmetric(&new_of_old).to_dense(),
+        c: desc.c.permute_symmetric(&new_of_old).to_dense(),
+        b: desc.b.permute_rows(&new_of_old).to_dense(),
+        l: desc.l.permute_cols(&new_of_old).to_dense(),
+    };
+
+    if let Some(total) = opts.max_reduced_dim {
+        // Every block keeps at least one state, so a budget below k is
+        // unsatisfiable; fail loudly instead of silently exceeding it.
+        if total < block_sizes.len() {
+            return Err(CoreError::InvalidOptions(
+                "max_reduced_dim is smaller than the number of blocks",
+            ));
+        }
+    }
+    let global = global_krylov_basis(&full.g, &full.c, &full.b, &opts.krylov)?;
+    let max_block_dim = opts.max_reduced_dim.map(|total| total / block_sizes.len());
+    let projector =
+        BlockDiagProjector::from_global_basis(&global, &block_sizes, opts.rank_tol, max_block_dim)?;
+
+    let g_r = projector.project_square(&full.g)?;
+    let c_r = projector.project_square(&full.c)?;
+    let b_r = projector.project_input(&full.b)?;
+    let l_r = projector.project_output(&full.l)?;
+
+    Ok(ReducedModel {
+        g: g_r,
+        c: c_r,
+        b: b_r,
+        l: l_r,
+        projector,
+        partition,
+        state_order: new_of_old,
+        block_sizes,
+        full,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::rc_ladder;
+    use crate::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+    use bdsm_linalg::Complex64;
+
+    fn ladder_opts(k: usize, s0: f64, moments: usize) -> ReductionOpts {
+        ReductionOpts {
+            num_blocks: k,
+            krylov: KrylovOpts {
+                expansion_points: vec![s0],
+                jomega_points: vec![],
+                moments_per_point: moments,
+                deflation_tol: 1e-10,
+            },
+            rank_tol: 1e-12,
+            max_reduced_dim: None,
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_shapes() {
+        let net = rc_ladder(24, 1.0, 1e-3, 2.0);
+        let rm = reduce_network(&net, &ladder_opts(3, 1.0e3, 3)).unwrap();
+        assert_eq!(rm.full_dim(), 24);
+        assert_eq!(rm.block_sizes.iter().sum::<usize>(), 24);
+        let q = rm.reduced_dim();
+        assert!(q < 24);
+        assert_eq!(rm.g.shape(), (q, q));
+        assert_eq!(rm.c.shape(), (q, q));
+        assert_eq!(rm.b.shape(), (q, 2));
+        assert_eq!(rm.l.shape(), (2, q));
+        assert_eq!(rm.projector.num_blocks(), 3);
+        assert!(rm.projector.orthonormality_error() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_model_matches_at_expansion_point_region() {
+        let net = rc_ladder(24, 1.0, 1e-3, 2.0);
+        let s0 = 1.0e3;
+        let rm = reduce_network(&net, &ladder_opts(3, s0, 4)).unwrap();
+        // Near the (real) expansion point the match must be tight.
+        let s = Complex64::jomega(s0 * 0.5);
+        let hf = {
+            let ev = TransferEvaluator::new(
+                rm.full.g.clone(),
+                rm.full.c.clone(),
+                rm.full.b.clone(),
+                rm.full.l.clone(),
+            )
+            .unwrap();
+            ev.eval(s).unwrap()
+        };
+        let hr = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s).unwrap();
+        assert!(transfer_rel_err(&hf, &hr) < 1e-8);
+    }
+
+    #[test]
+    fn permutation_preserves_transfer_function() {
+        // The permuted full model must have the same transfer function as
+        // the original descriptor: H is invariant under state reordering.
+        let net = rc_ladder(12, 1.0, 1e-3, 2.0);
+        let desc = bdsm_circuit::mna::assemble(&net).unwrap();
+        let rm = reduce_network(&net, &ladder_opts(2, 1.0e3, 2)).unwrap();
+        let s = Complex64::jomega(500.0);
+        let h_orig = eval_transfer(
+            &desc.g.to_dense(),
+            &desc.c.to_dense(),
+            &desc.b.to_dense(),
+            &desc.l.to_dense(),
+            s,
+        )
+        .unwrap();
+        let h_perm = eval_transfer(&rm.full.g, &rm.full.c, &rm.full.b, &rm.full.l, s).unwrap();
+        assert!(transfer_rel_err(&h_orig, &h_perm) < 1e-13);
+    }
+
+    #[test]
+    fn portless_network_rejected() {
+        let mut net = Network::new();
+        let a = net.add_bus("a");
+        net.add_resistor(a, bdsm_circuit::GROUND, 1.0).unwrap();
+        assert!(matches!(
+            reduce_network(&net, &ReductionOpts::default()),
+            Err(CoreError::Circuit(CircuitError::NoPorts))
+        ));
+    }
+
+    #[test]
+    fn budget_below_block_count_rejected() {
+        let net = rc_ladder(12, 1.0, 1e-3, 2.0);
+        let mut opts = ladder_opts(3, 1.0e3, 2);
+        opts.max_reduced_dim = Some(2); // 3 blocks need at least 3 states
+        assert!(matches!(
+            reduce_network(&net, &opts),
+            Err(CoreError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: CoreError = CircuitError::EmptyNetwork.into();
+        assert!(e.to_string().contains("circuit"));
+        let e: CoreError = LinalgError::Singular { at: 3 }.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -122,7 +122,11 @@ pub fn hessenberg(a: &Matrix) -> Result<Hessenberg> {
 /// - [`LinalgError::NotSquare`] if `h` is not square.
 /// - [`LinalgError::ShapeMismatch`] if `b.len()` differs from the dimension.
 /// - [`LinalgError::Singular`] if `s` is an eigenvalue of `H` (zero pivot).
-pub fn solve_shifted_hessenberg(h: &Matrix, s: Complex64, b: &[Complex64]) -> Result<Vec<Complex64>> {
+pub fn solve_shifted_hessenberg(
+    h: &Matrix,
+    s: Complex64,
+    b: &[Complex64],
+) -> Result<Vec<Complex64>> {
     if !h.is_square() {
         return Err(LinalgError::NotSquare { shape: h.shape() });
     }
@@ -240,7 +244,9 @@ mod tests {
         let a = test_matrix(6);
         let hes = hessenberg(&a).unwrap();
         let s = Complex64::new(0.3, 2.0);
-        let b: Vec<Complex64> = (0..6).map(|i| Complex64::new(i as f64, 1.0 - i as f64)).collect();
+        let b: Vec<Complex64> = (0..6)
+            .map(|i| Complex64::new(i as f64, 1.0 - i as f64))
+            .collect();
         let x = solve_shifted_hessenberg(&hes.h, s, &b).unwrap();
         // Verify (sI − H) x = b by explicit residual.
         let n = 6;
@@ -255,7 +261,7 @@ mod tests {
                 }
                 acc += mij * x[j];
             }
-            res_re[i] = acc.re - b[i].re;
+            res_re[i] = acc.re;
             res_im[i] = acc.im - b[i].im;
         }
         let bre: Vec<f64> = b.iter().map(|z| z.re).collect();

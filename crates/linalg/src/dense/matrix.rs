@@ -231,7 +231,9 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        Ok((0..self.nrows).map(|i| vector::dot(self.row(i), x)).collect())
+        Ok((0..self.nrows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect())
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.

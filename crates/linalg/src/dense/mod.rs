@@ -1,0 +1,15 @@
+//! Dense kernels: matrix storage, factorizations, and spectral routines.
+
+pub mod eig_sym;
+pub mod hessenberg;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+
+pub use eig_sym::SymEig;
+pub use hessenberg::{hessenberg, solve_shifted_hessenberg, Hessenberg};
+pub use lu::DenseLu;
+pub use matrix::Matrix;
+pub use qr::DenseQr;
+pub use svd::Svd;

@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn reconstructs_a_square() {
-        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ]);
         let qr = DenseQr::factor(&a).unwrap();
         let q = qr.thin_q();
         let r = qr.r();
@@ -195,7 +199,9 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular() {
-        let a = Matrix::from_fn(5, 4, |i, j| (i + j * 2) as f64 + if i == j { 3.0 } else { 0.0 });
+        let a = Matrix::from_fn(5, 4, |i, j| {
+            (i + j * 2) as f64 + if i == j { 3.0 } else { 0.0 }
+        });
         let r = DenseQr::factor(&a).unwrap().r();
         for i in 0..4 {
             for j in 0..i {
@@ -209,12 +215,18 @@ mod tests {
         // Fit y = c0 + c1 x to 4 points; known closed form.
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let b = [1.0, 2.2, 2.8, 4.1];
-        let x = DenseQr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x = DenseQr::factor(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
         // Normal equations solution computed externally: slope ~ 1.01, icpt ~1.01
         let at = a.transpose();
         let ata = at.matmul(&a).unwrap();
         let atb = at.matvec(&b).unwrap();
-        let xref = crate::dense::DenseLu::factor(&ata).unwrap().solve(&atb).unwrap();
+        let xref = crate::dense::DenseLu::factor(&ata)
+            .unwrap()
+            .solve(&atb)
+            .unwrap();
         for (u, v) in x.iter().zip(&xref) {
             assert!((u - v).abs() < 1e-12);
         }
@@ -238,7 +250,9 @@ mod tests {
 
     #[test]
     fn qt_mul_preserves_norm() {
-        let a = Matrix::from_fn(6, 4, |i, j| ((i + 2 * j) as f64).sin() + if i == j { 2.0 } else { 0.0 });
+        let a = Matrix::from_fn(6, 4, |i, j| {
+            ((i + 2 * j) as f64).sin() + if i == j { 2.0 } else { 0.0 }
+        });
         let qr = DenseQr::factor(&a).unwrap();
         let b: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
         let y = qr.qt_mul(&b).unwrap();

@@ -192,7 +192,9 @@ mod tests {
 
     #[test]
     fn reconstruction_wide() {
-        let a = Matrix::from_fn(3, 7, |i, j| (i * 7 + j) as f64 * 0.1 + if i == j { 1.0 } else { 0.0 });
+        let a = Matrix::from_fn(3, 7, |i, j| {
+            (i * 7 + j) as f64 * 0.1 + if i == j { 1.0 } else { 0.0 }
+        });
         let svd = Svd::compute(&a).unwrap();
         let back = svd.truncate(3);
         assert!(back.sub(&a).unwrap().norm_max() < 1e-12);

@@ -1,1 +1,67 @@
-pub fn placeholder() {}
+//! # BDSM — block-diagonal structured model reduction for power grids
+//!
+//! Façade crate re-exporting the whole pipeline:
+//!
+//! | stage      | crate          | entry points |
+//! |------------|----------------|--------------|
+//! | *build*    | [`circuit`]    | [`circuit::Network`], [`circuit::mna::assemble`] |
+//! | *partition*| [`circuit`]    | [`circuit::partition::partition_network`] |
+//! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`] |
+//! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`] |
+//! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
+//! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
+//!
+//! # Examples
+//!
+//! Reduce a synthetic RC grid and compare transfer functions:
+//!
+//! ```
+//! use bdsm::core::krylov::KrylovOpts;
+//! use bdsm::core::reduce::{reduce_network, ReductionOpts};
+//! use bdsm::core::synth::rc_grid;
+//! use bdsm::core::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+//! use bdsm::linalg::Complex64;
+//!
+//! // build: an 8×10 RC mesh with ports at opposite corners.
+//! let net = rc_grid(8, 10, 1.0, 1e-3, 2.0);
+//!
+//! // partition + reduce: 4 blocks, moments matched at s = j·500 and j·2000.
+//! let opts = ReductionOpts {
+//!     num_blocks: 4,
+//!     krylov: KrylovOpts {
+//!         expansion_points: vec![],
+//!         jomega_points: vec![5.0e2, 2.0e3],
+//!         moments_per_point: 2,
+//!         deflation_tol: 1e-12,
+//!     },
+//!     rank_tol: 1e-12,
+//!     max_reduced_dim: None,
+//! };
+//! let rm = reduce_network(&net, &opts)?;
+//! assert!(rm.reduced_dim() < rm.full_dim());
+//!
+//! // evaluate: full vs reduced at a frequency between the expansion points.
+//! let s = Complex64::jomega(1.0e3);
+//! let full = TransferEvaluator::new(
+//!     rm.full.g.clone(), rm.full.c.clone(), rm.full.b.clone(), rm.full.l.clone(),
+//! )?.eval(s)?;
+//! let reduced = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s)?;
+//! assert!(transfer_rel_err(&full, &reduced) < 1e-6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use bdsm_bench as bench;
+pub use bdsm_circuit as circuit;
+pub use bdsm_core as core;
+pub use bdsm_linalg as linalg;
+pub use bdsm_sim as sim;
+
+/// Most-used types, for glob import.
+pub mod prelude {
+    pub use bdsm_circuit::{mna::assemble, partition::partition_network, Network, GROUND};
+    pub use bdsm_core::krylov::KrylovOpts;
+    pub use bdsm_core::reduce::{reduce_network, ReducedModel, ReductionOpts};
+    pub use bdsm_core::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+    pub use bdsm_linalg::{Complex64, Matrix};
+    pub use bdsm_sim::TransientSolver;
+}
