@@ -1,12 +1,14 @@
-//! Reduce a synthetic RC grid and compare full vs reduced models.
+//! Reduce a synthetic RC grid and compare full vs reduced models, with
+//! per-backend factorization timings so the sparse speedup is visible.
 //!
 //! Usage: `cargo run --release --example reduce_grid [rows] [cols] [blocks]`
 
 use bdsm::core::krylov::KrylovOpts;
-use bdsm::core::reduce::{reduce_network, ReductionOpts};
+use bdsm::core::reduce::{reduce_network, ReductionOpts, SolverBackend};
 use bdsm::core::synth::rc_grid;
-use bdsm::core::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+use bdsm::core::transfer::{eval_transfer, transfer_rel_err, SparseTransferEvaluator};
 use bdsm::linalg::Complex64;
+use bdsm::sparse::ShiftedPencil;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,29 +33,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(net.num_buses() / 5),
+        backend: SolverBackend::Sparse,
     };
 
     let t0 = Instant::now();
     let rm = reduce_network(&net, &opts)?;
     let t_reduce = t0.elapsed();
     println!(
-        "reduced {} -> {} states ({} blocks, dims {:?}) in {t_reduce:.2?}",
+        "reduced {} -> {} states ({} blocks, dims {:?}) via {:?} backend in {t_reduce:.2?}",
         rm.full_dim(),
         rm.reduced_dim(),
         rm.projector.num_blocks(),
         rm.projector.block_dims(),
+        rm.backend,
     );
 
-    let full_ev = TransferEvaluator::new(
-        rm.full.g.clone(),
-        rm.full.c.clone(),
-        rm.full.b.clone(),
-        rm.full.l.clone(),
-    )?;
+    // Factorization timing: one sparse complex factorization of G + jωC at
+    // a mid-band frequency, against the dense complex LU when n is small
+    // enough to densify without regret.
+    let n = rm.full_dim();
+    let s_mid = Complex64::jomega(4.5e2);
+    let pencil = ShiftedPencil::new(&rm.full.g, &rm.full.c)?;
+    let t = Instant::now();
+    let sparse_lu = pencil.factor_complex(s_mid)?;
+    let t_sparse_factor = t.elapsed();
     println!(
-        "full-model evaluator fast path: {}",
-        full_ev.uses_fast_path()
+        "sparse shifted factorization at n={n}: {t_sparse_factor:.2?} \
+         (pattern nnz {}, factor nnz {})",
+        pencil.nnz(),
+        sparse_lu.factor_nnz(),
     );
+    if n <= 2500 {
+        let full = rm.full.to_dense();
+        let t = Instant::now();
+        let _dense_lu = bdsm::core::transfer::ZLu::factor_shifted(&full.g, &full.c, s_mid)?;
+        let t_dense_factor = t.elapsed();
+        let speedup = t_dense_factor.as_secs_f64() / t_sparse_factor.as_secs_f64().max(1e-12);
+        println!("dense shifted factorization at n={n}: {t_dense_factor:.2?} ({speedup:.1}x slower than sparse)");
+    } else {
+        println!("dense shifted factorization skipped (n={n} too large to densify)");
+    }
+
+    let full_ev =
+        SparseTransferEvaluator::new(&rm.full.g, &rm.full.c, rm.full.b.clone(), rm.full.l.clone())?;
 
     println!(
         "{:>12}  {:>12}  {:>12}  {:>10}",
@@ -77,6 +99,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             transfer_rel_err(&hf, &hr)
         );
     }
-    println!("eval time over 10 freqs: full {t_full:.2?}, reduced {t_red:.2?}");
+    println!("eval time over 10 freqs: full (sparse) {t_full:.2?}, reduced {t_red:.2?}");
     Ok(())
 }

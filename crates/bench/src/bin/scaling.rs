@@ -1,0 +1,173 @@
+//! Scaling benchmark: full-vs-reduced build + solve cost and a sparse-vs-
+//! dense shifted-solve shootout across grid sizes, emitted as
+//! `BENCH_scaling.json` for the CI artifact trail.
+//!
+//! Usage: `cargo run --release -p bdsm-bench --bin scaling [n ...]`
+//! (default sizes: 500 2000 10000 50000).
+//!
+//! Per size `n`, on a loaded RC ladder with `n` states:
+//!
+//! - `t_sparse_factor_solve_us` — sparse complex factorization of
+//!   `G + jωC` (symbolic reused via `ShiftedPencil`) plus one solve;
+//! - `t_dense_factor_solve_us`  — the dense `ZLu` equivalent, only run for
+//!   `n ≤ 2000` (the dense wall is the point of the exercise);
+//! - `t_reduce_us` / `t_rom_eval_us` — sparse-backend BDSM reduction and a
+//!   reduced-model transfer sample;
+//! - `mem_sparse_bytes` / `mem_dense_bytes` — factor storage proxies:
+//!   16 bytes per stored complex factor entry vs `16·n²` dense.
+
+use bdsm_bench::time_with_warmup;
+use bdsm_circuit::mna;
+use bdsm_core::krylov::KrylovOpts;
+use bdsm_core::reduce::{reduce_network, ReductionOpts, SolverBackend};
+use bdsm_core::synth::rc_ladder_loaded;
+use bdsm_core::transfer::{eval_transfer, ZLu};
+use bdsm_linalg::Complex64;
+use bdsm_sparse::ShiftedPencil;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OMEGA_MID: f64 = 4.5e2;
+const DENSE_CEILING: usize = 2000;
+
+struct Row {
+    n: usize,
+    nnz: usize,
+    factor_nnz: usize,
+    t_sparse_us: f64,
+    t_dense_us: Option<f64>,
+    t_reduce_us: f64,
+    t_rom_eval_us: f64,
+    reduced_dim: usize,
+}
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("sizes must be positive integers"))
+            .collect();
+        if args.is_empty() {
+            vec![500, 2000, 10_000, 50_000]
+        } else {
+            args
+        }
+    };
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        println!("--- n = {n} ---");
+        let net = rc_ladder_loaded(n, 1.0, 1e-3, 5.0, 5);
+        let desc = mna::assemble(&net).expect("assembly");
+        let (g, c) = (desc.g.to_csc(), desc.c.to_csc());
+        let s = Complex64::jomega(OMEGA_MID);
+        let b0: Vec<f64> = desc.b.to_dense().col(0);
+
+        // Sparse shifted factor + solve (symbolic analysis amortized).
+        let pencil = ShiftedPencil::new(&g, &c).expect("pencil");
+        let iters = if n <= DENSE_CEILING { 5 } else { 2 };
+        let mut factor_nnz = 0;
+        let t_sparse = time_with_warmup("sparse", 1, iters, || {
+            let lu = pencil.factor_complex(s).expect("sparse factor");
+            factor_nnz = lu.factor_nnz();
+            std::hint::black_box(lu.solve_real(&b0).expect("sparse solve"));
+        });
+        let t_sparse_us = t_sparse.per_iter().as_secs_f64() * 1e6;
+        println!("  sparse factor+solve: {:?}/iter", t_sparse.per_iter());
+
+        // Dense oracle, below the densification ceiling only.
+        let t_dense_us = (n <= DENSE_CEILING).then(|| {
+            let gd = g.to_dense();
+            let cd = c.to_dense();
+            let t = time_with_warmup("dense", 1, 3, || {
+                let lu = ZLu::factor_shifted(&gd, &cd, s).expect("dense factor");
+                std::hint::black_box(lu.solve_real(&b0).expect("dense solve"));
+            });
+            println!("  dense factor+solve:  {:?}/iter", t.per_iter());
+            t.per_iter().as_secs_f64() * 1e6
+        });
+
+        // Full pipeline: sparse-backend reduction, then a ROM transfer
+        // sample — the "build once, solve often" trade the ROM buys.
+        let opts = ReductionOpts {
+            num_blocks: 8,
+            krylov: KrylovOpts {
+                expansion_points: vec![],
+                jomega_points: vec![5.0e1, OMEGA_MID, 4.0e3],
+                moments_per_point: 2,
+                deflation_tol: 1e-12,
+            },
+            rank_tol: 1e-12,
+            max_reduced_dim: Some((n / 5).max(8)),
+            backend: SolverBackend::Sparse,
+        };
+        let t0 = Instant::now();
+        let rm = reduce_network(&net, &opts).expect("reduction");
+        let t_reduce_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t_rom = time_with_warmup("rom-eval", 1, 5, || {
+            std::hint::black_box(eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s).expect("rom eval"));
+        });
+        let t_rom_eval_us = t_rom.per_iter().as_secs_f64() * 1e6;
+        println!(
+            "  reduce {n} -> {} states: {:.1} ms; ROM eval {:?}/iter",
+            rm.reduced_dim(),
+            t_reduce_us / 1e3,
+            t_rom.per_iter()
+        );
+        if let Some(td) = t_dense_us {
+            println!("  sparse speedup vs dense: {:.1}x", td / t_sparse_us);
+        }
+
+        rows.push(Row {
+            n,
+            nnz: pencil.nnz(),
+            factor_nnz,
+            t_sparse_us,
+            t_dense_us,
+            t_reduce_us,
+            t_rom_eval_us,
+            reduced_dim: rm.reduced_dim(),
+        });
+    }
+
+    let json = render_json(&rows);
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("wrote BENCH_scaling.json ({} sizes)", rows.len());
+}
+
+/// Hand-rolled JSON (the dependency set has no serde): one record per size.
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"scaling\",\n  \"topology\": \"rc_ladder_loaded\",\n  \"omega\": 450.0,\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let dense = r
+            .t_dense_us
+            .map_or("null".to_string(), |v| format!("{v:.1}"));
+        let speedup = r
+            .t_dense_us
+            .map_or("null".to_string(), |v| format!("{:.2}", v / r.t_sparse_us));
+        let mem_sparse = 16 * r.factor_nnz;
+        let mem_dense = 16usize.saturating_mul(r.n).saturating_mul(r.n);
+        writeln!(
+            out,
+            "    {{\"n\": {}, \"nnz\": {}, \"factor_nnz\": {}, \
+             \"t_sparse_factor_solve_us\": {:.1}, \"t_dense_factor_solve_us\": {}, \
+             \"sparse_speedup\": {}, \"t_reduce_us\": {:.1}, \"t_rom_eval_us\": {:.1}, \
+             \"reduced_dim\": {}, \"mem_sparse_bytes\": {}, \"mem_dense_bytes\": {}}}{}",
+            r.n,
+            r.nnz,
+            r.factor_nnz,
+            r.t_sparse_us,
+            dense,
+            speedup,
+            r.t_reduce_us,
+            r.t_rom_eval_us,
+            r.reduced_dim,
+            mem_sparse,
+            mem_dense,
+            if i + 1 < rows.len() { "," } else { "" },
+        )
+        .expect("string write");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -121,7 +121,7 @@ mod tests {
         // The point of the whole exercise: evaluating the reduced transfer
         // function must be much cheaper than the full one.
         use bdsm_core::krylov::KrylovOpts;
-        use bdsm_core::reduce::{reduce_network, ReductionOpts};
+        use bdsm_core::reduce::{reduce_network, ReductionOpts, SolverBackend};
         use bdsm_core::synth::rc_ladder;
         use bdsm_core::transfer::eval_transfer;
         use bdsm_linalg::Complex64;
@@ -137,13 +137,13 @@ mod tests {
             },
             rank_tol: 1e-12,
             max_reduced_dim: None,
+            backend: SolverBackend::Sparse,
         };
         let rm = reduce_network(&net, &opts).unwrap();
+        let full = rm.full.to_dense();
         let s = Complex64::jomega(500.0);
         let t_full = time("full-eval", 3, || {
-            std::hint::black_box(
-                eval_transfer(&rm.full.g, &rm.full.c, &rm.full.b, &rm.full.l, s).unwrap(),
-            );
+            std::hint::black_box(eval_transfer(&full.g, &full.c, &full.b, &full.l, s).unwrap());
         });
         let t_red = time("reduced-eval", 3, || {
             std::hint::black_box(eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s).unwrap());

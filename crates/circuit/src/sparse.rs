@@ -2,11 +2,14 @@
 //!
 //! MNA stamping is naturally additive — each circuit element contributes a
 //! handful of `(row, col, value)` triplets — so the assembly layer works in
-//! COO and densifies only at the projection/factorization boundary where the
-//! dense kernels of `bdsm_linalg` take over. Duplicate triplets are allowed
-//! and sum implicitly, exactly like the classic SPICE stamp table.
+//! COO and converts at the factorization boundary: [`CooMatrix::to_csc`]
+//! feeds the sparse kernels of `bdsm_sparse` (the scalable path), while
+//! [`CooMatrix::to_dense`] feeds the dense oracle kernels of `bdsm_linalg`.
+//! Duplicate triplets are allowed and sum implicitly, exactly like the
+//! classic SPICE stamp table.
 
 use bdsm_linalg::Matrix;
+use bdsm_sparse::CscMatrix;
 
 /// A sparse matrix stored as unsorted, possibly-duplicated triplets.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +84,13 @@ impl CooMatrix {
             m[(i, j)] += v;
         }
         m
+    }
+
+    /// Converts to compressed sparse column form, summing duplicates —
+    /// the entry point of the sparse factorization path.
+    pub fn to_csc(&self) -> CscMatrix<f64> {
+        CscMatrix::from_triplets(self.nrows, self.ncols, &self.triplets)
+            .expect("COO triplets are bounds-checked at push time")
     }
 
     /// Sparse matrix–vector product `y = A x`.
@@ -178,6 +188,23 @@ mod tests {
     fn push_rejects_out_of_bounds() {
         let mut a = CooMatrix::new(1, 1);
         a.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn to_csc_sums_duplicates_like_to_dense() {
+        let mut a = CooMatrix::new(3, 3);
+        a.push(0, 0, 1.5);
+        a.push(0, 0, 2.5);
+        a.push(2, 1, -1.0);
+        a.push(1, 2, 3.0);
+        let csc = a.to_csc();
+        assert_eq!(csc.nnz(), 3);
+        let dense = a.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(csc.get(i, j), dense[(i, j)]);
+            }
+        }
     }
 
     #[test]

@@ -5,12 +5,18 @@
 //! structured model reduction scheme for power grid networks — on top of the
 //! circuit layer (`bdsm-circuit`) and the dense kernels (`bdsm-linalg`):
 //!
-//! - [`krylov`] builds a global moment-matching basis with block Arnoldi;
+//! - [`krylov`] builds a global moment-matching basis with block Arnoldi,
+//!   through either the sparse factorization subsystem (`bdsm-sparse`,
+//!   default) or the dense oracle kernels;
 //! - [`projector`] splits it into the structured projector
-//!   `V = diag(V₁,…,V_k)` and applies congruence transforms;
-//! - [`reduce`] wires network → MNA → partition → basis → reduced model;
+//!   `V = diag(V₁,…,V_k)` (per-block SVD compression fanned out over
+//!   scoped threads) and applies congruence transforms, including a
+//!   sparse-input variant that never densifies the full model;
+//! - [`reduce`] wires network → MNA → partition → basis → reduced model,
+//!   dispatching on [`reduce::SolverBackend`];
 //! - [`transfer`] evaluates `H(s) = L(G + sC)⁻¹B` for full and reduced
-//!   models so they can be compared frequency by frequency;
+//!   models so they can be compared frequency by frequency — dense,
+//!   Hessenberg, and sparse ([`transfer::SparseTransferEvaluator`]) paths;
 //! - [`synth`] generates ladder/grid/feeder test topologies.
 //!
 //! # Examples
@@ -32,7 +38,12 @@ pub mod reduce;
 pub mod synth;
 pub mod transfer;
 
-pub use krylov::{global_krylov_basis, KrylovOpts};
+pub use krylov::{global_krylov_basis, global_krylov_basis_sparse, KrylovOpts};
 pub use projector::BlockDiagProjector;
-pub use reduce::{reduce_network, CoreError, DenseDescriptor, ReducedModel, ReductionOpts};
-pub use transfer::{eval_transfer, transfer_rel_err, CMatrix, TransferEvaluator, ZLu};
+pub use reduce::{
+    reduce_network, CoreError, DenseDescriptor, ReducedModel, ReductionOpts, SolverBackend,
+    SparseDescriptor,
+};
+pub use transfer::{
+    eval_transfer, transfer_rel_err, CMatrix, SparseTransferEvaluator, TransferEvaluator, ZLu,
+};

@@ -9,6 +9,7 @@
 //! matrices block-structured — sparsity the flat projector destroys.
 
 use bdsm_linalg::{LinalgError, Matrix, Result, Svd};
+use bdsm_sparse::{CscMatrix, Scalar};
 
 /// An orthonormal block-diagonal projection matrix.
 #[derive(Debug, Clone)]
@@ -49,46 +50,84 @@ impl BlockDiagProjector {
                 what: "projector: empty blocks are not allowed",
             });
         }
-        let mut blocks = Vec::with_capacity(block_sizes.len());
+        // Blocks are independent, so the per-block SVD compression fans out
+        // over scoped threads — capped at the machine's parallelism, since
+        // the block count is caller-controlled. Blocks are near-balanced by
+        // construction, so static chunking distributes the work evenly, and
+        // results land in order via the per-chunk result slots.
+        let mut slices = Vec::with_capacity(block_sizes.len());
         let mut row0 = 0;
         for &size in block_sizes {
-            let slice = global.submatrix(row0, row0 + size, 0, global.ncols());
-            // Krylov content decays exponentially away from the ports, so a
-            // far block's slice can be tiny down to subnormal. Normalizing
-            // each column (and dropping numerically dead ones) keeps every
-            // moment direction that reaches the block, at any magnitude,
-            // and protects the Jacobi SVD from under/overflow.
-            let mut cols: Vec<Vec<f64>> = Vec::new();
-            for j in 0..slice.ncols() {
-                let mut col = slice.col(j);
-                let norm = bdsm_linalg::vector::norm2(&col);
-                if norm > 1e-150 {
-                    bdsm_linalg::vector::scale(1.0 / norm, &mut col);
-                    cols.push(col);
-                }
-            }
-            let vi = if cols.is_empty() {
-                let mut e = Matrix::zeros(size, 1);
-                e[(0, 0)] = 1.0;
-                e
-            } else {
-                let svd = Svd::compute(&Matrix::from_cols(&cols))?;
-                let sigma_max = svd.sigma.first().copied().unwrap_or(0.0);
-                let mut rank = svd
-                    .sigma
-                    .iter()
-                    .filter(|&&s| s > rank_tol * sigma_max)
-                    .count()
-                    .max(1);
-                if let Some(cap) = max_block_dim {
-                    rank = rank.min(cap.max(1));
-                }
-                svd.u.submatrix(0, size, 0, rank)
-            };
-            blocks.push(vi);
+            slices.push(global.submatrix(row0, row0 + size, 0, global.ncols()));
             row0 += size;
         }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(1, slices.len().max(1));
+        let chunk = slices.len().div_ceil(workers).max(1);
+        let mut results: Vec<Option<Result<Matrix>>> = (0..slices.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slice_chunk, result_chunk) in slices.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slice, slot) in slice_chunk.iter().zip(result_chunk.iter_mut()) {
+                        *slot = Some(compress_block_slice(slice, rank_tol, max_block_dim));
+                    }
+                });
+            }
+        });
+        let blocks = results
+            .into_iter()
+            .map(|r| r.expect("every scoped thread ran to completion"))
+            .collect::<Result<Vec<Matrix>>>()?;
         Ok(Self::from_blocks(blocks))
+    }
+
+    /// Congruence transform `VᵀAV` of a *sparse* matrix, accumulating one
+    /// rank-one block contribution per stored entry — `O(nnz · qᵢqⱼ)` work
+    /// and no `n × q` intermediate, which is what keeps the projection step
+    /// viable at `n ≫ 10⁴`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `a` is not `n × n`.
+    pub fn project_square_sparse(&self, a: &CscMatrix<f64>) -> Result<Matrix> {
+        let n = self.nrows();
+        if a.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "project-square-sparse",
+                lhs: (n, n),
+                rhs: a.shape(),
+            });
+        }
+        // row → owning block, computable once from the row offsets.
+        let mut block_of_row = vec![0usize; n];
+        for bi in 0..self.num_blocks() {
+            block_of_row[self.row_offsets[bi]..self.row_offsets[bi + 1]].fill(bi);
+        }
+        let mut out = Matrix::zeros(self.ncols(), self.ncols());
+        for (r, c, v) in a.iter() {
+            if Scalar::is_zero(v) {
+                continue;
+            }
+            let (bi, bj) = (block_of_row[r], block_of_row[c]);
+            let vi = &self.blocks[bi];
+            let vj = &self.blocks[bj];
+            let li = r - self.row_offsets[bi];
+            let lj = c - self.row_offsets[bj];
+            let (oi, oj) = (self.col_offsets[bi], self.col_offsets[bj]);
+            // out[oi + a, oj + b] += Vi[li, a] · v · Vj[lj, b].
+            for aa in 0..vi.ncols() {
+                let w = vi[(li, aa)] * v;
+                if w == 0.0 {
+                    continue;
+                }
+                for bb in 0..vj.ncols() {
+                    out[(oi + aa, oj + bb)] += w * vj[(lj, bb)];
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Assembles a projector directly from per-block orthonormal bases.
@@ -235,6 +274,49 @@ impl BlockDiagProjector {
     }
 }
 
+/// Compresses one block's row slice of the global basis into an
+/// orthonormal block basis.
+///
+/// Krylov content decays exponentially away from the ports, so a far
+/// block's slice can be tiny down to subnormal. Normalizing each column
+/// (and dropping numerically dead ones) keeps every moment direction that
+/// reaches the block, at any magnitude, and protects the Jacobi SVD from
+/// under/overflow. A block whose slice is numerically zero keeps a single
+/// canonical unit vector so every block retains at least one reduced state.
+fn compress_block_slice(
+    slice: &Matrix,
+    rank_tol: f64,
+    max_block_dim: Option<usize>,
+) -> Result<Matrix> {
+    let size = slice.nrows();
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for j in 0..slice.ncols() {
+        let mut col = slice.col(j);
+        let norm = bdsm_linalg::vector::norm2(&col);
+        if norm > 1e-150 {
+            bdsm_linalg::vector::scale(1.0 / norm, &mut col);
+            cols.push(col);
+        }
+    }
+    if cols.is_empty() {
+        let mut e = Matrix::zeros(size, 1);
+        e[(0, 0)] = 1.0;
+        return Ok(e);
+    }
+    let svd = Svd::compute(&Matrix::from_cols(&cols))?;
+    let sigma_max = svd.sigma.first().copied().unwrap_or(0.0);
+    let mut rank = svd
+        .sigma
+        .iter()
+        .filter(|&&s| s > rank_tol * sigma_max)
+        .count()
+        .max(1);
+    if let Some(cap) = max_block_dim {
+        rank = rank.min(cap.max(1));
+    }
+    Ok(svd.u.submatrix(0, size, 0, rank))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +390,26 @@ mod tests {
                 .norm_max()
                 < 1e-13
         );
+    }
+
+    #[test]
+    fn sparse_congruence_matches_dense() {
+        let vg = demo_basis();
+        let p = BlockDiagProjector::from_global_basis(&vg, &[2, 4], 1e-12, None).unwrap();
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            // A sparse-ish pattern with off-block coupling.
+            if i == j || (i + 2 * j) % 5 == 0 {
+                ((i * 3 + j) as f64 * 0.17).sin()
+            } else {
+                0.0
+            }
+        });
+        let sparse = CscMatrix::from_dense(&a, 0.0);
+        let dense_result = p.project_square(&a).unwrap();
+        let sparse_result = p.project_square_sparse(&sparse).unwrap();
+        assert!(sparse_result.sub(&dense_result).unwrap().norm_max() < 1e-13);
+        let bad = CscMatrix::from_dense(&Matrix::zeros(5, 5), 0.0);
+        assert!(p.project_square_sparse(&bad).is_err());
     }
 
     #[test]

@@ -9,11 +9,17 @@
 //! 4. the block-diagonal projector `V = diag(V₁,…,V_k)`
 //!    ([`crate::projector`]) and the congruence transforms
 //!    `G_r = VᵀGV`, `C_r = VᵀCV`, `B_r = VᵀB`, `L_r = LV`.
+//!
+//! The shifted solves and congruence products run on a selectable
+//! [`SolverBackend`]: the sparse subsystem (`bdsm_sparse`) by default —
+//! the full model is never densified, which is what admits `n ≫ 10⁴`
+//! grids — or the original dense kernels as a verification oracle.
 
-use crate::krylov::{global_krylov_basis, KrylovOpts};
+use crate::krylov::{global_krylov_basis, global_krylov_basis_sparse, KrylovOpts};
 use crate::projector::BlockDiagProjector;
 use bdsm_circuit::{grouped_state_order, mna, partition_network, CircuitError, Network, Partition};
 use bdsm_linalg::{LinalgError, Matrix};
+use bdsm_sparse::CscMatrix;
 use std::fmt;
 
 /// Errors from the reduction pipeline.
@@ -63,6 +69,19 @@ impl From<LinalgError> for CoreError {
 /// Result alias for the reduction pipeline.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
+/// Which factorization backend carries the full-model linear algebra
+/// (shifted Krylov solves and congruence products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Sparse CSC + fill-reducing ordering + sparse LU (`bdsm_sparse`) —
+    /// the default, and the only route that scales past `n ≈ 10³`.
+    #[default]
+    Sparse,
+    /// Densify and use the dense kernels of `bdsm_linalg`. Kept as the
+    /// verification oracle the sparse path is cross-checked against.
+    Dense,
+}
+
 /// Options for [`reduce_network`].
 #[derive(Debug, Clone)]
 pub struct ReductionOpts {
@@ -76,6 +95,8 @@ pub struct ReductionOpts {
     /// every block at `q_max / k` dominant directions. Must be at least the
     /// number of blocks (each block keeps one state minimum).
     pub max_reduced_dim: Option<usize>,
+    /// Factorization backend for the full-model solves.
+    pub backend: SolverBackend,
 }
 
 impl Default for ReductionOpts {
@@ -85,6 +106,7 @@ impl Default for ReductionOpts {
             krylov: KrylovOpts::default(),
             rank_tol: 1e-12,
             max_reduced_dim: None,
+            backend: SolverBackend::default(),
         }
     }
 }
@@ -109,6 +131,41 @@ impl DenseDescriptor {
     }
 }
 
+/// A sparse descriptor model `(G, C, B, L)` in block-grouped state order.
+///
+/// `G` and `C` stay in CSC form — at `n = 10⁵` their dense counterparts
+/// would need 160 GB — while the thin input/output maps (`n × m`, `p × n`
+/// with small `m`, `p`) remain dense.
+#[derive(Debug, Clone)]
+pub struct SparseDescriptor {
+    /// Conductance matrix.
+    pub g: CscMatrix<f64>,
+    /// Storage matrix.
+    pub c: CscMatrix<f64>,
+    /// Input map.
+    pub b: Matrix,
+    /// Output map.
+    pub l: Matrix,
+}
+
+impl SparseDescriptor {
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.g.nrows()
+    }
+
+    /// Densifies `G` and `C` — the bridge to the dense verification
+    /// oracle. Only sensible for small models.
+    pub fn to_dense(&self) -> DenseDescriptor {
+        DenseDescriptor {
+            g: self.g.to_dense(),
+            c: self.c.to_dense(),
+            b: self.b.clone(),
+            l: self.l.clone(),
+        }
+    }
+}
+
 /// Output of the BDSM pipeline: the reduced model plus everything needed to
 /// audit it (projector, partition, permuted full model).
 #[derive(Debug, Clone)]
@@ -129,8 +186,12 @@ pub struct ReducedModel {
     pub state_order: Vec<usize>,
     /// Per-block state counts of the permuted full model.
     pub block_sizes: Vec<usize>,
-    /// The permuted dense full model (for validation and comparison).
-    pub full: DenseDescriptor,
+    /// The permuted full model, kept sparse (for validation and
+    /// comparison; densify via [`SparseDescriptor::to_dense`] when a dense
+    /// oracle is wanted and `n` is small).
+    pub full: SparseDescriptor,
+    /// The backend that carried the full-model solves.
+    pub backend: SolverBackend,
 }
 
 impl ReducedModel {
@@ -161,9 +222,9 @@ pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedMode
     let partition = partition_network(net, opts.num_blocks)?;
     let (new_of_old, block_sizes) = grouped_state_order(net, &desc, &partition);
 
-    let full = DenseDescriptor {
-        g: desc.g.permute_symmetric(&new_of_old).to_dense(),
-        c: desc.c.permute_symmetric(&new_of_old).to_dense(),
+    let full = SparseDescriptor {
+        g: desc.g.permute_symmetric(&new_of_old).to_csc(),
+        c: desc.c.permute_symmetric(&new_of_old).to_csc(),
         b: desc.b.permute_rows(&new_of_old).to_dense(),
         l: desc.l.permute_cols(&new_of_old).to_dense(),
     };
@@ -177,13 +238,30 @@ pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedMode
             ));
         }
     }
-    let global = global_krylov_basis(&full.g, &full.c, &full.b, &opts.krylov)?;
+    // The dense oracle densifies exactly once, shared by the Krylov basis
+    // and the congruence products; the sparse path never materializes it.
+    let dense_oracle = match opts.backend {
+        SolverBackend::Sparse => None,
+        SolverBackend::Dense => Some(full.to_dense()),
+    };
+    let global = match &dense_oracle {
+        None => global_krylov_basis_sparse(&full.g, &full.c, &full.b, &opts.krylov)?,
+        Some(dense) => global_krylov_basis(&dense.g, &dense.c, &dense.b, &opts.krylov)?,
+    };
     let max_block_dim = opts.max_reduced_dim.map(|total| total / block_sizes.len());
     let projector =
         BlockDiagProjector::from_global_basis(&global, &block_sizes, opts.rank_tol, max_block_dim)?;
 
-    let g_r = projector.project_square(&full.g)?;
-    let c_r = projector.project_square(&full.c)?;
+    let (g_r, c_r) = match &dense_oracle {
+        None => (
+            projector.project_square_sparse(&full.g)?,
+            projector.project_square_sparse(&full.c)?,
+        ),
+        Some(dense) => (
+            projector.project_square(&dense.g)?,
+            projector.project_square(&dense.c)?,
+        ),
+    };
     let b_r = projector.project_input(&full.b)?;
     let l_r = projector.project_output(&full.l)?;
 
@@ -197,6 +275,7 @@ pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedMode
         state_order: new_of_old,
         block_sizes,
         full,
+        backend: opts.backend,
     })
 }
 
@@ -218,6 +297,7 @@ mod tests {
             },
             rank_tol: 1e-12,
             max_reduced_dim: None,
+            backend: SolverBackend::Sparse,
         }
     }
 
@@ -238,6 +318,29 @@ mod tests {
     }
 
     #[test]
+    fn dense_backend_is_consistent_with_sparse_backend() {
+        let net = rc_ladder(30, 1.0, 1e-3, 2.0);
+        let mut opts = ladder_opts(3, 1.0e3, 3);
+        let rm_sparse = reduce_network(&net, &opts).unwrap();
+        assert_eq!(rm_sparse.backend, SolverBackend::Sparse);
+        opts.backend = SolverBackend::Dense;
+        let rm_dense = reduce_network(&net, &opts).unwrap();
+        assert_eq!(rm_dense.backend, SolverBackend::Dense);
+        assert_eq!(rm_sparse.reduced_dim(), rm_dense.reduced_dim());
+        // Same reduced transfer function from both backends.
+        for &w in &[1.0e2, 5.0e2, 2.0e3] {
+            let s = Complex64::jomega(w);
+            let hs =
+                eval_transfer(&rm_sparse.g, &rm_sparse.c, &rm_sparse.b, &rm_sparse.l, s).unwrap();
+            let hd = eval_transfer(&rm_dense.g, &rm_dense.c, &rm_dense.b, &rm_dense.l, s).unwrap();
+            assert!(
+                transfer_rel_err(&hd, &hs) < 1e-9,
+                "backends disagree at ω={w}"
+            );
+        }
+    }
+
+    #[test]
     fn reduced_model_matches_at_expansion_point_region() {
         let net = rc_ladder(24, 1.0, 1e-3, 2.0);
         let s0 = 1.0e3;
@@ -245,13 +348,8 @@ mod tests {
         // Near the (real) expansion point the match must be tight.
         let s = Complex64::jomega(s0 * 0.5);
         let hf = {
-            let ev = TransferEvaluator::new(
-                rm.full.g.clone(),
-                rm.full.c.clone(),
-                rm.full.b.clone(),
-                rm.full.l.clone(),
-            )
-            .unwrap();
+            let full = rm.full.to_dense();
+            let ev = TransferEvaluator::new(full.g, full.c, full.b, full.l).unwrap();
             ev.eval(s).unwrap()
         };
         let hr = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s).unwrap();
@@ -274,7 +372,8 @@ mod tests {
             s,
         )
         .unwrap();
-        let h_perm = eval_transfer(&rm.full.g, &rm.full.c, &rm.full.b, &rm.full.l, s).unwrap();
+        let full = rm.full.to_dense();
+        let h_perm = eval_transfer(&full.g, &full.c, &full.b, &full.l, s).unwrap();
         assert!(transfer_rel_err(&h_orig, &h_perm) < 1e-13);
     }
 

@@ -1,17 +1,21 @@
 //! Frequency-domain transfer-function evaluation
 //! `H(s) = L (G + sC)⁻¹ B`, for both full and reduced descriptor models.
 //!
-//! Two paths are provided:
+//! Three paths are provided:
 //!
 //! - a dense complex LU ([`ZLu`]) that factors `G + sC` per frequency —
 //!   always applicable, and cheap for reduced models;
 //! - a Hessenberg fast path for the common power-grid case where `C` is
 //!   diagonal and positive (every bus carries a shunt capacitor): with
 //!   `A = −C⁻¹G = QHQᵀ`, each frequency costs one `O(n²)` shifted solve
-//!   through `bdsm_linalg::solve_shifted_hessenberg` instead of `O(n³)`.
+//!   through `bdsm_linalg::solve_shifted_hessenberg` instead of `O(n³)`;
+//! - a sparse path ([`SparseTransferEvaluator`]) that analyses the
+//!   `G + sC` pattern once and runs one sparse complex LU per frequency —
+//!   the only route that scales to full models with `n ≫ 10⁴` states.
 
 use bdsm_linalg::dense::hessenberg::{hessenberg, solve_shifted_hessenberg};
 use bdsm_linalg::{Complex64, LinalgError, Matrix, Result};
+use bdsm_sparse::{CscMatrix, ShiftedPencil};
 use std::ops::{Index, IndexMut};
 
 /// A small dense complex matrix (row-major), used for transfer samples.
@@ -356,6 +360,76 @@ impl TransferEvaluator {
     }
 }
 
+/// Sparse full-model evaluator of `H(s) = L (G + sC)⁻¹ B`.
+///
+/// Construction builds the shifted pencil once (pattern union of `G` and
+/// `C` plus an AMD fill-reducing ordering); every [`eval`](Self::eval) is a
+/// numeric sparse complex refactorization and `m` triangular solves. This
+/// is the full-model path for grids far beyond the dense ceiling.
+pub struct SparseTransferEvaluator {
+    pencil: ShiftedPencil,
+    b: Matrix,
+    l: Matrix,
+}
+
+impl SparseTransferEvaluator {
+    /// Builds the evaluator from sparse `G`, `C` and dense (thin) `B`, `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] /
+    /// [`LinalgError::ShapeMismatch`] for inconsistent descriptor shapes.
+    pub fn new(g: &CscMatrix<f64>, c: &CscMatrix<f64>, b: Matrix, l: Matrix) -> Result<Self> {
+        let n = g.nrows();
+        if !g.is_square() || c.shape() != (n, n) || b.nrows() != n || l.ncols() != n {
+            return Err(LinalgError::InvalidArgument {
+                what: "descriptor shapes inconsistent: need G,C n×n, B n×m, L p×n",
+            });
+        }
+        let pencil = ShiftedPencil::new(g, c)?;
+        Ok(SparseTransferEvaluator { pencil, b, l })
+    }
+
+    /// State dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.pencil.dim()
+    }
+
+    /// Evaluates `H(s)` (`p × m`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if `s` is a pole of the model.
+    pub fn eval(&self, s: Complex64) -> Result<CMatrix> {
+        let lu = self.pencil.factor_complex(s)?;
+        let mut h = CMatrix::zeros(self.l.nrows(), self.b.ncols());
+        for j in 0..self.b.ncols() {
+            let x = lu.solve_real(&self.b.col(j))?;
+            for i in 0..self.l.nrows() {
+                let row = self.l.row(i);
+                let mut acc = Complex64::ZERO;
+                for (lv, xv) in row.iter().zip(&x) {
+                    acc += *xv * *lv;
+                }
+                h[(i, j)] = acc;
+            }
+        }
+        Ok(h)
+    }
+
+    /// Evaluates `H(jω)` at each angular frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure.
+    pub fn eval_jomega_sweep(&self, omegas: &[f64]) -> Result<Vec<CMatrix>> {
+        omegas
+            .iter()
+            .map(|&w| self.eval(Complex64::jomega(w)))
+            .collect()
+    }
+}
+
 fn is_positive_diagonal(c: &Matrix) -> bool {
     if !c.is_square() {
         return false;
@@ -479,6 +553,55 @@ mod tests {
         assert!(!ev.uses_fast_path());
         let h = ev.eval(Complex64::jomega(2.0)).unwrap();
         assert!(h[(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn sparse_evaluator_matches_dense_paths() {
+        let n = 15;
+        let g = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + 0.3 * i as f64
+            } else if i.abs_diff(j) == 1 {
+                -0.8
+            } else {
+                0.0
+            }
+        });
+        let c = Matrix::from_fn(
+            n,
+            n,
+            |i, j| if i == j { 1e-3 * (1.0 + i as f64) } else { 0.0 },
+        );
+        let b = Matrix::from_fn(n, 2, |i, j| if i == j * (n - 1) { 1.0 } else { 0.0 });
+        let l = b.transpose();
+        let ev = SparseTransferEvaluator::new(
+            &CscMatrix::from_dense(&g, 0.0),
+            &CscMatrix::from_dense(&c, 0.0),
+            b.clone(),
+            l.clone(),
+        )
+        .unwrap();
+        assert_eq!(ev.dim(), n);
+        let sweeps = ev.eval_jomega_sweep(&[10.0, 100.0, 1000.0]).unwrap();
+        for (k, &w) in [10.0, 100.0, 1000.0].iter().enumerate() {
+            let dense = eval_transfer(&g, &c, &b, &l, Complex64::jomega(w)).unwrap();
+            let rel = transfer_rel_err(&dense, &sweeps[k]);
+            assert!(rel < 1e-12, "sparse/dense paths disagree at ω={w}: {rel}");
+        }
+    }
+
+    #[test]
+    fn sparse_evaluator_rejects_bad_shapes() {
+        let g = CscMatrix::from_dense(&Matrix::identity(3), 0.0);
+        let c = CscMatrix::from_dense(&Matrix::identity(3), 0.0);
+        let b = Matrix::zeros(2, 1);
+        let l = Matrix::zeros(1, 3);
+        assert!(SparseTransferEvaluator::new(&g, &c, b, l).is_err());
+        let c4 = CscMatrix::from_dense(&Matrix::identity(4), 0.0);
+        assert!(
+            SparseTransferEvaluator::new(&g, &c4, Matrix::zeros(3, 1), Matrix::zeros(1, 3))
+                .is_err()
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! verifiably block-diagonal, and the reduced dimension must be ≤ n/5.
 
 use bdsm_core::krylov::KrylovOpts;
-use bdsm_core::reduce::{reduce_network, ReducedModel, ReductionOpts};
+use bdsm_core::reduce::{reduce_network, ReducedModel, ReductionOpts, SolverBackend};
 use bdsm_core::synth::{ieee_like_feeder, rc_grid, rc_ladder, rc_ladder_loaded};
-use bdsm_core::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+use bdsm_core::transfer::{eval_transfer, transfer_rel_err, SparseTransferEvaluator};
 use bdsm_linalg::Complex64;
 
 /// Log-spaced angular frequencies in `[lo, hi]`.
@@ -60,15 +60,12 @@ fn check_acceptance(rm: &ReducedModel, min_blocks: usize, omegas: &[f64], tol: f
         c0 += cols;
     }
 
-    // 3. Transfer-function match at every sample frequency.
+    // 3. Transfer-function match at every sample frequency, with the full
+    //    model evaluated through the sparse path (never densified).
     assert!(omegas.len() >= 10, "need at least 10 sample frequencies");
-    let full_ev = TransferEvaluator::new(
-        rm.full.g.clone(),
-        rm.full.c.clone(),
-        rm.full.b.clone(),
-        rm.full.l.clone(),
-    )
-    .expect("full evaluator");
+    let full_ev =
+        SparseTransferEvaluator::new(&rm.full.g, &rm.full.c, rm.full.b.clone(), rm.full.l.clone())
+            .expect("full evaluator");
     let mut worst = (0.0_f64, 0.0_f64);
     for &w in omegas {
         let s = Complex64::jomega(w);
@@ -102,6 +99,7 @@ fn rc_ladder_500_states_5_blocks() {
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),
+        backend: SolverBackend::Sparse,
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     assert_eq!(rm.full_dim(), 500);
@@ -123,6 +121,7 @@ fn rc_grid_500_states_5_blocks() {
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),
+        backend: SolverBackend::Sparse,
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     assert_eq!(rm.full_dim(), 500);
@@ -145,6 +144,7 @@ fn feeder_with_inductors_reduces_accurately() {
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(97),
+        backend: SolverBackend::Sparse,
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     assert!(rm.full_dim() >= 200);
@@ -165,6 +165,7 @@ fn reduction_ratio_is_substantial() {
         },
         rank_tol: 1e-12,
         max_reduced_dim: None,
+        backend: SolverBackend::Sparse,
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     // Block-diagonal reduced G/C keep block sparsity: entries coupling

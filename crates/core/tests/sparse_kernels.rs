@@ -1,0 +1,188 @@
+//! Property tests for the sparse factorization subsystem against the dense
+//! oracles, on the matrices the pipeline actually produces: MNA descriptors
+//! of randomized ladder / grid / feeder networks.
+//!
+//! Checked properties:
+//!
+//! - sparse LU solves of `G + sC` match `DenseLu` (real shifts) and `ZLu`
+//!   (imaginary shifts) to near machine precision;
+//! - the solution is invariant under the fill-reducing ordering (AMD, RCM,
+//!   natural) and under symmetric permutation round-trips;
+//! - structurally/numerically singular matrices fail loudly with
+//!   `LinalgError::Singular`.
+
+use bdsm_circuit::{mna, Network, GROUND};
+use bdsm_core::synth::{ieee_like_feeder, rc_grid, rc_ladder_loaded};
+use bdsm_linalg::{Complex64, DenseLu, LinalgError};
+use bdsm_sparse::{CscMatrix, FillOrdering, ShiftedPencil, SparseLu};
+
+/// Deterministic xorshift in `[0, 1)`, so the "random" networks are
+/// reproducible across runs.
+fn rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn test_networks() -> Vec<(&'static str, Network)> {
+    let mut r = rng(0x5eed);
+    vec![
+        (
+            "ladder",
+            rc_ladder_loaded(80, 0.5 + r(), 1e-3 * (1.0 + r()), 2.0 + 3.0 * r(), 7),
+        ),
+        ("grid", rc_grid(9, 11, 0.5 + r(), 1e-3 * (1.0 + r()), 2.0)),
+        (
+            "feeder",
+            ieee_like_feeder(3, 25, 0.5 + r(), 1e-3, 1e-5 * (1.0 + r()), 2.0),
+        ),
+    ]
+}
+
+#[test]
+fn sparse_real_shift_solves_match_dense_lu() {
+    for (name, net) in test_networks() {
+        let d = mna::assemble(&net).unwrap();
+        let (g, c) = (d.g.to_csc(), d.c.to_csc());
+        let n = g.nrows();
+        let pencil = ShiftedPencil::new(&g, &c).unwrap();
+        let mut r = rng(0xabcd ^ n as u64);
+        let b: Vec<f64> = (0..n).map(|_| r() - 0.5).collect();
+        for &s in &[1.0, 1.0e2, 1.0e4] {
+            let xs = pencil.factor_real(s).unwrap().solve(&b).unwrap();
+            let dense = g.to_dense().add(&c.to_dense().scaled(s)).unwrap();
+            let xd = DenseLu::factor(&dense).unwrap().solve(&b).unwrap();
+            let rel = bdsm_linalg::vector::rel_err(&xs, &xd, 1e-30);
+            assert!(rel < 1e-10, "{name}: sparse vs dense at s={s}: {rel}");
+        }
+    }
+}
+
+#[test]
+fn sparse_complex_shift_solves_match_zlu() {
+    for (name, net) in test_networks() {
+        let d = mna::assemble(&net).unwrap();
+        let (g, c) = (d.g.to_csc(), d.c.to_csc());
+        let n = g.nrows();
+        let pencil = ShiftedPencil::new(&g, &c).unwrap();
+        let mut r = rng(0x1234 ^ n as u64);
+        let b: Vec<f64> = (0..n).map(|_| r() - 0.5).collect();
+        for &w in &[5.0e1, 4.0e3] {
+            let s = Complex64::jomega(w);
+            let xs = pencil.factor_complex(s).unwrap().solve_real(&b).unwrap();
+            let zlu =
+                bdsm_core::transfer::ZLu::factor_shifted(&g.to_dense(), &c.to_dense(), s).unwrap();
+            let xd = zlu.solve_real(&b).unwrap();
+            let num: f64 = xs
+                .iter()
+                .zip(&xd)
+                .map(|(a, bb)| (*a - *bb).abs_sq())
+                .sum::<f64>()
+                .sqrt();
+            let den: f64 = xd.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+            assert!(
+                num / den < 1e-10,
+                "{name}: sparse vs ZLu at ω={w}: {}",
+                num / den
+            );
+        }
+    }
+}
+
+#[test]
+fn solution_invariant_under_ordering_choice() {
+    for (name, net) in test_networks() {
+        let d = mna::assemble(&net).unwrap();
+        let g = d.g.to_csc();
+        let n = g.nrows();
+        // G alone can be singular at DC for feeders (inductor branch rows),
+        // so factor G + 100·C, which is regular for every test topology.
+        let assembled = {
+            let mut t: Vec<(usize, usize, f64)> = g.iter().collect();
+            t.extend(d.c.to_csc().iter().map(|(i, j, v)| (i, j, 100.0 * v)));
+            CscMatrix::from_triplets(n, n, &t).unwrap()
+        };
+        let mut r = rng(0x77 ^ n as u64);
+        let b: Vec<f64> = (0..n).map(|_| r() - 0.5).collect();
+        let mut solutions = Vec::new();
+        for kind in [FillOrdering::Amd, FillOrdering::Rcm, FillOrdering::Natural] {
+            let x = SparseLu::factor_ordered(&assembled, kind)
+                .unwrap()
+                .solve(&b)
+                .unwrap();
+            solutions.push((kind, x));
+        }
+        let (_, ref x0) = solutions[0];
+        for (kind, x) in &solutions[1..] {
+            let rel = bdsm_linalg::vector::rel_err(x, x0, 1e-30);
+            assert!(rel < 1e-9, "{name}: {kind:?} disagrees with AMD: {rel}");
+        }
+    }
+}
+
+#[test]
+fn symmetric_permutation_round_trips() {
+    let net = rc_grid(8, 8, 1.0, 1e-3, 2.0);
+    let d = mna::assemble(&net).unwrap();
+    let g = d.g.to_csc();
+    let n = g.nrows();
+    // A deterministic shuffle and its inverse.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut r = rng(0xfeed);
+    for i in (1..n).rev() {
+        let j = (r() * (i + 1) as f64) as usize;
+        perm.swap(i, j);
+    }
+    let mut inv = vec![0usize; n];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    let back = g
+        .permute_symmetric(&perm)
+        .unwrap()
+        .permute_symmetric(&inv)
+        .unwrap();
+    assert_eq!(g, back, "permutation round-trip altered the matrix");
+
+    // Solving the permuted system gives the permuted solution.
+    let mut rr = rng(0xbeef);
+    let b: Vec<f64> = (0..n).map(|_| rr() - 0.5).collect();
+    let x = SparseLu::factor(&g).unwrap().solve(&b).unwrap();
+    let gp = g.permute_symmetric(&perm).unwrap();
+    let bp: Vec<f64> = {
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            out[perm[i]] = b[i];
+        }
+        out
+    };
+    let xp = SparseLu::factor(&gp).unwrap().solve(&bp).unwrap();
+    let x_back: Vec<f64> = (0..n).map(|i| xp[perm[i]]).collect();
+    assert!(bdsm_linalg::vector::rel_err(&x_back, &x, 1e-30) < 1e-10);
+}
+
+#[test]
+fn singular_mna_matrix_fails_loudly() {
+    // A bus connected only through a capacitor has no DC path: G is
+    // structurally singular, and factoring at s = 0 must report it.
+    let mut net = Network::new();
+    let a = net.add_bus("a");
+    let b = net.add_bus("floating");
+    net.add_resistor(a, GROUND, 1.0).unwrap();
+    net.add_capacitor(a, b, 1e-3).unwrap();
+    net.add_port(a).unwrap();
+    let d = mna::assemble(&net).unwrap();
+    let g = d.g.to_csc();
+    assert!(matches!(
+        SparseLu::factor(&g),
+        Err(LinalgError::Singular { .. })
+    ));
+    // With the capacitor mass added (s > 0) the pencil becomes regular.
+    let pencil = ShiftedPencil::new(&g, &d.c.to_csc()).unwrap();
+    assert!(pencil.factor_real(0.0).is_err());
+    assert!(pencil.factor_real(10.0).is_ok());
+}

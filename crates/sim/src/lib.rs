@@ -6,11 +6,13 @@
 //!     (C/h + G) x⁺ = (C/h) x + B u⁺,      y⁺ = L x⁺,
 //! ```
 //!
-//! which is A-stable — the right default for stiff RC/RLC grids — and needs
-//! a single LU factorization per step size. It runs on any dense descriptor
-//! quadruple, so it serves both full models and the reduced models coming
-//! out of `bdsm_core::reduce_network` (where it is cheap enough for long
-//! transients).
+//! which is A-stable — the right default for stiff RC/RLC grids. The
+//! left-hand side `C/h + G` is factored **once** at construction and the
+//! factors are reused by every step; only the right-hand side changes per
+//! step. Two backends share that contract: a dense LU for reduced models
+//! (and small full models), and a sparse LU ([`TransientSolver::new_sparse`]
+//! / [`TransientSolver::for_full`]) that keeps full `n ≫ 10⁴` grids inside
+//! the same memory budget as their MNA stamp tables.
 //!
 //! # Examples
 //!
@@ -34,18 +36,56 @@
 
 use bdsm_core::ReducedModel;
 use bdsm_linalg::{DenseLu, LinalgError, Matrix, Result};
+use bdsm_sparse::{CscMatrix, ShiftedPencil, SparseLu};
 
-/// Backward-Euler transient solver for a dense descriptor model.
+/// The factored left-hand side `C/h + G` plus the `C/h` needed per step.
+///
+/// Both variants are factored exactly once, at solver construction; a step
+/// is one matvec and one pair of triangular solves.
+#[derive(Debug, Clone)]
+enum Stepper {
+    Dense {
+        /// `C / h`, kept for the right-hand side.
+        c_over_h: Matrix,
+        /// LU factors of `C/h + G`.
+        lhs: DenseLu,
+    },
+    Sparse {
+        /// `C / h`, kept for the right-hand side.
+        c_over_h: CscMatrix<f64>,
+        /// Sparse LU factors of `C/h + G`.
+        lhs: SparseLu<f64>,
+    },
+}
+
+impl Stepper {
+    /// Advances the state: solves `(C/h + G) x⁺ = (C/h) x + bu`.
+    fn advance(&self, x: &[f64], bu: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            Stepper::Dense { c_over_h, lhs } => {
+                let mut rhs = c_over_h.matvec(x)?;
+                bdsm_linalg::vector::axpy(1.0, bu, &mut rhs);
+                lhs.solve(&rhs)
+            }
+            Stepper::Sparse { c_over_h, lhs } => {
+                let mut rhs = c_over_h.matvec(x)?;
+                bdsm_linalg::vector::axpy(1.0, bu, &mut rhs);
+                lhs.solve(&rhs)
+            }
+        }
+    }
+}
+
+/// Backward-Euler transient solver for a descriptor model, with a dense or
+/// sparse factorization backend behind one stepping API.
 #[derive(Debug, Clone)]
 pub struct TransientSolver {
-    /// `C / h`, kept for the right-hand side.
-    c_over_h: Matrix,
     /// Input map.
     b: Matrix,
     /// Output map.
     l: Matrix,
-    /// LU factors of `C/h + G`.
-    lhs: DenseLu,
+    /// Factored left-hand side (factor once, reuse every step).
+    stepper: Stepper,
     /// Current state.
     x: Vec<f64>,
     /// Step size `h`.
@@ -53,7 +93,8 @@ pub struct TransientSolver {
 }
 
 impl TransientSolver {
-    /// Builds a solver with step size `h`, starting from the zero state.
+    /// Builds a dense-backend solver with step size `h`, starting from the
+    /// zero state.
     ///
     /// # Errors
     ///
@@ -75,22 +116,76 @@ impl TransientSolver {
         let c_over_h = c.scaled(1.0 / h);
         let lhs = DenseLu::factor(&c_over_h.add(g)?)?;
         Ok(TransientSolver {
-            c_over_h,
             b: b.clone(),
             l: l.clone(),
+            stepper: Stepper::Dense { c_over_h, lhs },
             x: vec![0.0; n],
-            lhs,
             h,
         })
     }
 
-    /// Builds a solver for a reduced model produced by the BDSM pipeline.
+    /// Builds a sparse-backend solver: `C/h + G` is assembled over the
+    /// pattern union, ordered by AMD, and factored once by the sparse LU.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn new_sparse(
+        g: &CscMatrix<f64>,
+        c: &CscMatrix<f64>,
+        b: &Matrix,
+        l: &Matrix,
+        h: f64,
+    ) -> Result<Self> {
+        if !(h > 0.0 && h.is_finite()) {
+            return Err(LinalgError::InvalidArgument {
+                what: "transient: step size must be positive and finite",
+            });
+        }
+        let n = g.nrows();
+        if !g.is_square() || c.shape() != (n, n) || b.nrows() != n || l.ncols() != n {
+            return Err(LinalgError::InvalidArgument {
+                what: "transient: need G,C n×n, B n×m, L p×n",
+            });
+        }
+        // G + (1/h)·C through the shifted pencil: the factorization reuses
+        // the same symbolic machinery as the Krylov shifted solves.
+        let lhs = ShiftedPencil::new(g, c)?.factor_real(1.0 / h)?;
+        Ok(TransientSolver {
+            b: b.clone(),
+            l: l.clone(),
+            stepper: Stepper::Sparse {
+                c_over_h: c.scaled(1.0 / h),
+                lhs,
+            },
+            x: vec![0.0; n],
+            h,
+        })
+    }
+
+    /// Builds a dense solver for the *reduced* model of a BDSM pipeline
+    /// output (reduced systems are small and dense).
     ///
     /// # Errors
     ///
     /// Same as [`new`](Self::new).
     pub fn for_reduced(rm: &ReducedModel, h: f64) -> Result<Self> {
         TransientSolver::new(&rm.g, &rm.c, &rm.b, &rm.l, h)
+    }
+
+    /// Builds a sparse solver for the *full* (permuted) model of a BDSM
+    /// pipeline output — the reference transient at grid scale.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn for_full(rm: &ReducedModel, h: f64) -> Result<Self> {
+        TransientSolver::new_sparse(&rm.full.g, &rm.full.c, &rm.full.b, &rm.full.l, h)
+    }
+
+    /// `true` when the sparse factorization backend is active.
+    pub fn uses_sparse_backend(&self) -> bool {
+        matches!(self.stepper, Stepper::Sparse { .. })
     }
 
     /// Step size `h`.
@@ -133,11 +228,10 @@ impl TransientSolver {
                 rhs: (u_next.len(), 1),
             });
         }
-        // rhs = (C/h) x + B u⁺.
-        let mut rhs = self.c_over_h.matvec(&self.x)?;
+        // rhs = (C/h) x + B u⁺, solved against the factors computed at
+        // construction time.
         let bu = self.b.matvec(u_next)?;
-        bdsm_linalg::vector::axpy(1.0, &bu, &mut rhs);
-        self.x = self.lhs.solve(&rhs)?;
+        self.x = self.stepper.advance(&self.x, &bu)?;
         self.l.matvec(&self.x)
     }
 
@@ -193,12 +287,14 @@ mod tests {
             },
             rank_tol: 1e-12,
             max_reduced_dim: None,
+            backend: Default::default(),
         };
         let rm = reduce_network(&net, &opts).unwrap();
         let h = 1e-4;
-        let mut full =
-            TransientSolver::new(&rm.full.g, &rm.full.c, &rm.full.b, &rm.full.l, h).unwrap();
+        let mut full = TransientSolver::for_full(&rm, h).unwrap();
+        assert!(full.uses_sparse_backend());
         let mut red = TransientSolver::for_reduced(&rm, h).unwrap();
+        assert!(!red.uses_sparse_backend());
         let u = [1.0, 0.0];
         let mut worst = 0.0_f64;
         for _ in 0..400 {
@@ -209,6 +305,43 @@ mod tests {
             worst = worst.max(bdsm_linalg::vector::norm2(&diff) / denom);
         }
         assert!(worst < 1e-4, "ROM transient diverged: {worst}");
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_step_identically() {
+        // Same model through both factorizations: trajectories must agree
+        // to solver roundoff, step for step.
+        let net = rc_ladder(25, 1.0, 1e-3, 2.0);
+        let desc = bdsm_circuit::mna::assemble(&net).unwrap();
+        let (g, c) = (desc.g.to_csc(), desc.c.to_csc());
+        let (b, l) = (desc.b.to_dense(), desc.l.to_dense());
+        let h = 1e-3;
+        let mut dense = TransientSolver::new(&g.to_dense(), &c.to_dense(), &b, &l, h).unwrap();
+        let mut sparse = TransientSolver::new_sparse(&g, &c, &b, &l, h).unwrap();
+        let u = [1.0, 0.0];
+        for step in 0..100 {
+            let yd = dense.step(&u).unwrap();
+            let ys = sparse.step(&u).unwrap();
+            let diff: Vec<f64> = yd.iter().zip(&ys).map(|(a, b)| a - b).collect();
+            let denom = bdsm_linalg::vector::norm2(&yd).max(1e-12);
+            assert!(
+                bdsm_linalg::vector::norm2(&diff) / denom < 1e-10,
+                "backends diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_constructor_validates_inputs() {
+        use bdsm_sparse::CscMatrix;
+        let g = CscMatrix::from_dense(&Matrix::identity(2), 0.0);
+        let c = CscMatrix::from_dense(&Matrix::identity(2), 0.0);
+        let b = Matrix::from_fn(2, 1, |i, _| if i == 0 { 1.0 } else { 0.0 });
+        let l = b.transpose();
+        assert!(TransientSolver::new_sparse(&g, &c, &b, &l, 0.0).is_err());
+        assert!(TransientSolver::new_sparse(&g, &c, &b, &Matrix::zeros(1, 3), 0.1).is_err());
+        let c3 = CscMatrix::from_dense(&Matrix::identity(3), 0.0);
+        assert!(TransientSolver::new_sparse(&g, &c3, &b, &l, 0.1).is_err());
     }
 
     #[test]

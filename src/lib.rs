@@ -6,8 +6,9 @@
 //! |------------|----------------|--------------|
 //! | *build*    | [`circuit`]    | [`circuit::Network`], [`circuit::mna::assemble`] |
 //! | *partition*| [`circuit`]    | [`circuit::partition::partition_network`] |
+//! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`], [`sparse::ShiftedPencil`] |
 //! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`] |
-//! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`] |
+//! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`] |
 //! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
 //! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
 //!
@@ -17,9 +18,9 @@
 //!
 //! ```
 //! use bdsm::core::krylov::KrylovOpts;
-//! use bdsm::core::reduce::{reduce_network, ReductionOpts};
+//! use bdsm::core::reduce::{reduce_network, ReductionOpts, SolverBackend};
 //! use bdsm::core::synth::rc_grid;
-//! use bdsm::core::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+//! use bdsm::core::transfer::{eval_transfer, transfer_rel_err, SparseTransferEvaluator};
 //! use bdsm::linalg::Complex64;
 //!
 //! // build: an 8×10 RC mesh with ports at opposite corners.
@@ -36,14 +37,16 @@
 //!     },
 //!     rank_tol: 1e-12,
 //!     max_reduced_dim: None,
+//!     backend: SolverBackend::Sparse,
 //! };
 //! let rm = reduce_network(&net, &opts)?;
 //! assert!(rm.reduced_dim() < rm.full_dim());
 //!
-//! // evaluate: full vs reduced at a frequency between the expansion points.
+//! // evaluate: full (through the sparse path — the full model is never
+//! // densified) vs reduced at a frequency between the expansion points.
 //! let s = Complex64::jomega(1.0e3);
-//! let full = TransferEvaluator::new(
-//!     rm.full.g.clone(), rm.full.c.clone(), rm.full.b.clone(), rm.full.l.clone(),
+//! let full = SparseTransferEvaluator::new(
+//!     &rm.full.g, &rm.full.c, rm.full.b.clone(), rm.full.l.clone(),
 //! )?.eval(s)?;
 //! let reduced = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s)?;
 //! assert!(transfer_rel_err(&full, &reduced) < 1e-6);
@@ -55,13 +58,17 @@ pub use bdsm_circuit as circuit;
 pub use bdsm_core as core;
 pub use bdsm_linalg as linalg;
 pub use bdsm_sim as sim;
+pub use bdsm_sparse as sparse;
 
 /// Most-used types, for glob import.
 pub mod prelude {
     pub use bdsm_circuit::{mna::assemble, partition::partition_network, Network, GROUND};
     pub use bdsm_core::krylov::KrylovOpts;
-    pub use bdsm_core::reduce::{reduce_network, ReducedModel, ReductionOpts};
-    pub use bdsm_core::transfer::{eval_transfer, transfer_rel_err, TransferEvaluator};
+    pub use bdsm_core::reduce::{reduce_network, ReducedModel, ReductionOpts, SolverBackend};
+    pub use bdsm_core::transfer::{
+        eval_transfer, transfer_rel_err, SparseTransferEvaluator, TransferEvaluator,
+    };
     pub use bdsm_linalg::{Complex64, Matrix};
     pub use bdsm_sim::TransientSolver;
+    pub use bdsm_sparse::{CscMatrix, FillOrdering, ShiftedPencil, SparseLu};
 }
