@@ -1,0 +1,128 @@
+//! Regression gate over the scaling-bench artifact.
+//!
+//! Compares a fresh `BENCH_scaling.json` against the checked-in baseline
+//! and **fails (exit 1)** when the end-to-end reduce time at the gate size
+//! (default `n = 10_000`) regresses by more than the allowed factor
+//! (default 2×). Alongside the verdict it prints a GitHub-flavored
+//! markdown stage-time comparison, which CI appends to the job summary.
+//!
+//! Usage:
+//! `bench_gate [current.json] [baseline.json]`
+//! (defaults: `BENCH_scaling.json`,
+//! `crates/bench/baseline/BENCH_scaling_baseline.json`).
+//!
+//! Environment knobs:
+//! - `BENCH_GATE_N` — gate size (states) to compare at;
+//! - `BENCH_GATE_FACTOR` — allowed `current / baseline` ratio before the
+//!   gate fails (runner-to-runner noise is why this is 2×, not 1.1×).
+
+use bdsm_bench::json::{parse, Json};
+use std::process::ExitCode;
+
+const DEFAULT_CURRENT: &str = "BENCH_scaling.json";
+const DEFAULT_BASELINE: &str = "crates/bench/baseline/BENCH_scaling_baseline.json";
+
+/// The per-stage fields shown in the comparison table, keyed by JSON name.
+const STAGES: [(&str, &str); 8] = [
+    ("stage_assemble_us", "assemble"),
+    ("stage_partition_us", "partition"),
+    ("stage_krylov_us", "krylov"),
+    ("stage_svd_us", "svd"),
+    ("stage_project_us", "project"),
+    ("t_sweep_us", "sweep (full model)"),
+    ("t_sparse_factor_solve_us", "factor+solve"),
+    ("t_reduce_us", "reduce (end-to-end)"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = args.first().map_or(DEFAULT_CURRENT, String::as_str);
+    let baseline_path = args.get(1).map_or(DEFAULT_BASELINE, String::as_str);
+    let gate_n: f64 = env_num("BENCH_GATE_N", 10_000.0);
+    let factor: f64 = env_num("BENCH_GATE_FACTOR", 2.0);
+
+    let current = match load(current_path) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let baseline = match load(baseline_path) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let cur_row = match find_row(&current, gate_n) {
+        Some(r) => r,
+        None => return fail(&format!("{current_path}: no record with n = {gate_n}")),
+    };
+    let base_row = match find_row(&baseline, gate_n) {
+        Some(r) => r,
+        None => return fail(&format!("{baseline_path}: no record with n = {gate_n}")),
+    };
+
+    println!("### Scaling gate (n = {gate_n})\n");
+    println!(
+        "threads: current {} vs baseline {}\n",
+        current.num("threads").unwrap_or(1.0),
+        baseline.num("threads").unwrap_or(1.0)
+    );
+    println!("| stage | baseline (µs) | current (µs) | ratio |");
+    println!("|---|---:|---:|---:|");
+    for (key, label) in STAGES {
+        let (b, c) = (base_row.num(key), cur_row.num(key));
+        match (b, c) {
+            (Some(b), Some(c)) if b > 0.0 => {
+                println!("| {label} | {b:.1} | {c:.1} | {:.2}x |", c / b);
+            }
+            _ => println!("| {label} | n/a | n/a | n/a |"),
+        }
+    }
+
+    let (base_reduce, cur_reduce) = match (base_row.num("t_reduce_us"), cur_row.num("t_reduce_us"))
+    {
+        (Some(b), Some(c)) if b > 0.0 => (b, c),
+        _ => return fail("t_reduce_us missing from one of the records"),
+    };
+    let ratio = cur_reduce / base_reduce;
+    println!(
+        "\nend-to-end reduce at n = {gate_n}: {cur_reduce:.1} µs vs baseline {base_reduce:.1} µs \
+         ({ratio:.2}x, allowed ≤ {factor:.2}x)"
+    );
+    if let (Some(serial), Some(parallel)) = (
+        cur_row.num("t_reduce_serial_us"),
+        cur_row.num("t_reduce_us"),
+    ) {
+        println!(
+            "parallel engine speedup (serial/parallel, same run): {:.2}x",
+            serial / parallel
+        );
+    }
+    if ratio > factor {
+        println!("\n**GATE FAILED**: reduce time regressed {ratio:.2}x (> {factor:.2}x)");
+        return ExitCode::FAILURE;
+    }
+    println!("\ngate passed");
+    ExitCode::SUCCESS
+}
+
+fn env_num(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn find_row(doc: &Json, n: f64) -> Option<&Json> {
+    doc.get("results")?
+        .as_arr()?
+        .iter()
+        .find(|r| r.num("n") == Some(n))
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,44 +1,110 @@
-//! Scaling benchmark: full-vs-reduced build + solve cost and a sparse-vs-
-//! dense shifted-solve shootout across grid sizes, emitted as
-//! `BENCH_scaling.json` for the CI artifact trail.
+//! Scaling benchmark: per-stage reduction cost, parallel-vs-serial engine
+//! speedup, supernodal-vs-scalar kernel shootout, frequency-sweep fan-out,
+//! and a transient-at-scale scenario — emitted as `BENCH_scaling.json` for
+//! the CI artifact trail (and consumed by the `bench_gate` binary).
 //!
 //! Usage: `cargo run --release -p bdsm-bench --bin scaling [n ...]`
 //! (default sizes: 500 2000 10000 50000).
 //!
 //! Per size `n`, on a loaded RC ladder with `n` states:
 //!
-//! - `t_sparse_factor_solve_us` — sparse complex factorization of
-//!   `G + jωC` (symbolic reused via `ShiftedPencil`) plus one solve;
-//! - `t_dense_factor_solve_us`  — the dense `ZLu` equivalent, only run for
+//! - `t_sparse_factor_solve_us` — supernodal sparse complex factorization
+//!   of `G + jωC` (symbolic + workspace reused via `ShiftedPencil`) plus
+//!   one solve; `t_factor_scalar_us` is the same through the scalar oracle
+//!   kernel, so the blocked-kernel gain is visible per size;
+//! - `t_dense_factor_solve_us` — the dense `ZLu` equivalent, only run for
 //!   `n ≤ 2000` (the dense wall is the point of the exercise);
-//! - `t_reduce_us` / `t_rom_eval_us` — sparse-backend BDSM reduction and a
-//!   reduced-model transfer sample;
-//! - `mem_sparse_bytes` / `mem_dense_bytes` — factor storage proxies:
-//!   16 bytes per stored complex factor entry vs `16·n²` dense.
+//! - `t_reduce_us` / `t_reduce_serial_us` — the full BDSM reduction with
+//!   the multi-shift/SVD fan-out on all workers vs pinned to one
+//!   (`BDSM_THREADS=1`), with the per-stage breakdown
+//!   (`stage_{assemble,partition,krylov,project}_us`) from the parallel
+//!   run;
+//! - `t_sweep_us` / `t_sweep_serial_us` — a full-model sparse `jω` sweep
+//!   (`sweep_frequencies` samples) with and without the per-frequency
+//!   fan-out;
+//! - `t_rom_eval_us`, `mem_*_bytes` — ROM sample cost and factor-storage
+//!   proxies, as before.
+//!
+//! When the size list includes 10,000, a `transient` record compares full
+//! vs reduced backward-Euler on a 100×100 RC mesh (10⁴ states): wall time
+//! per path, speedup, and the worst relative output deviation.
 
 use bdsm_bench::time_with_warmup;
 use bdsm_circuit::mna;
 use bdsm_core::krylov::KrylovOpts;
-use bdsm_core::reduce::{reduce_network, ReductionOpts, SolverBackend};
-use bdsm_core::synth::rc_ladder_loaded;
-use bdsm_core::transfer::{eval_transfer, ZLu};
+use bdsm_core::reduce::{reduce_network_timed, ReductionOpts, SolverBackend, StageTimings};
+use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
+use bdsm_core::transfer::{eval_transfer, SparseTransferEvaluator, ZLu};
+use bdsm_core::{par, ReducedModel};
 use bdsm_linalg::Complex64;
-use bdsm_sparse::ShiftedPencil;
+use bdsm_sim::TransientSolver;
+use bdsm_sparse::{LuWorkspace, NumericKernel, ShiftedPencil};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const OMEGA_MID: f64 = 4.5e2;
 const DENSE_CEILING: usize = 2000;
+/// Frequencies of the full-model sweep stage (log-spaced decades around
+/// the expansion band).
+const SWEEP_FREQS: [f64; 8] = [2.0e1, 6.0e1, 1.8e2, 5.4e2, 1.6e3, 4.9e3, 1.5e4, 4.4e4];
+/// Transient scenario parameters (10⁴-state RC mesh).
+const TRANSIENT_STEPS: usize = 400;
+const TRANSIENT_H: f64 = 1e-4;
 
 struct Row {
     n: usize,
     nnz: usize,
     factor_nnz: usize,
     t_sparse_us: f64,
+    t_scalar_us: f64,
     t_dense_us: Option<f64>,
     t_reduce_us: f64,
+    t_reduce_serial_us: f64,
+    stages: StageTimings,
+    t_sweep_us: f64,
+    t_sweep_serial_us: f64,
     t_rom_eval_us: f64,
     reduced_dim: usize,
+}
+
+struct TransientRow {
+    n: usize,
+    reduced_dim: usize,
+    t_full_us: f64,
+    t_rom_us: f64,
+    max_rel_output_err: f64,
+}
+
+/// Runs `f` with the fan-out pinned to one worker, restoring the previous
+/// `BDSM_THREADS` afterwards — the serial baseline the parallel engine is
+/// compared against.
+fn with_serial_engine<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var("BDSM_THREADS").ok();
+    std::env::set_var("BDSM_THREADS", "1");
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var("BDSM_THREADS", v),
+        None => std::env::remove_var("BDSM_THREADS"),
+    }
+    out
+}
+
+fn reduction_opts(n: usize) -> ReductionOpts {
+    ReductionOpts {
+        num_blocks: 8,
+        krylov: KrylovOpts {
+            expansion_points: vec![],
+            // Eight jω points spanning the band: each is an independent
+            // factorization + recurrence, so the fan-out has enough grist
+            // to fill 4–8 workers.
+            jomega_points: vec![2.0e1, 5.0e1, 1.5e2, OMEGA_MID, 1.5e3, 4.0e3, 1.2e4, 4.0e4],
+            moments_per_point: 2,
+            deflation_tol: 1e-12,
+        },
+        rank_tol: 1e-12,
+        max_reduced_dim: Some((n / 5).max(8)),
+        backend: SolverBackend::Sparse,
+    }
 }
 
 fn main() {
@@ -53,6 +119,8 @@ fn main() {
             args
         }
     };
+    let threads = par::max_threads();
+    println!("parallel engine: up to {threads} worker thread(s)");
 
     let mut rows = Vec::new();
     for &n in &sizes {
@@ -63,17 +131,32 @@ fn main() {
         let s = Complex64::jomega(OMEGA_MID);
         let b0: Vec<f64> = desc.b.to_dense().col(0);
 
-        // Sparse shifted factor + solve (symbolic analysis amortized).
+        // Shifted factor + solve through both numeric kernels (symbolic
+        // analysis and scratch workspace amortized in both).
         let pencil = ShiftedPencil::new(&g, &c).expect("pencil");
+        let pencil_scalar = pencil.clone().with_numeric_kernel(NumericKernel::Scalar);
         let iters = if n <= DENSE_CEILING { 5 } else { 2 };
         let mut factor_nnz = 0;
-        let t_sparse = time_with_warmup("sparse", 1, iters, || {
-            let lu = pencil.factor_complex(s).expect("sparse factor");
+        let mut ws = LuWorkspace::new();
+        let t_sparse = time_with_warmup("supernodal", 1, iters, || {
+            let lu = pencil.factor_complex_with(s, &mut ws).expect("factor");
             factor_nnz = lu.factor_nnz();
-            std::hint::black_box(lu.solve_real(&b0).expect("sparse solve"));
+            std::hint::black_box(lu.solve_real(&b0).expect("solve"));
         });
         let t_sparse_us = t_sparse.per_iter().as_secs_f64() * 1e6;
-        println!("  sparse factor+solve: {:?}/iter", t_sparse.per_iter());
+        let t_scalar = time_with_warmup("scalar-kernel", 1, iters, || {
+            let lu = pencil_scalar
+                .factor_complex_with(s, &mut ws)
+                .expect("factor");
+            std::hint::black_box(lu.solve_real(&b0).expect("solve"));
+        });
+        let t_scalar_us = t_scalar.per_iter().as_secs_f64() * 1e6;
+        println!(
+            "  factor+solve: supernodal {:?}/iter, scalar {:?}/iter ({:.2}x)",
+            t_sparse.per_iter(),
+            t_scalar.per_iter(),
+            t_scalar_us / t_sparse_us
+        );
 
         // Dense oracle, below the densification ceiling only.
         let t_dense_us = (n <= DENSE_CEILING).then(|| {
@@ -87,33 +170,75 @@ fn main() {
             t.per_iter().as_secs_f64() * 1e6
         });
 
-        // Full pipeline: sparse-backend reduction, then a ROM transfer
-        // sample — the "build once, solve often" trade the ROM buys.
-        let opts = ReductionOpts {
-            num_blocks: 8,
-            krylov: KrylovOpts {
-                expansion_points: vec![],
-                jomega_points: vec![5.0e1, OMEGA_MID, 4.0e3],
-                moments_per_point: 2,
-                deflation_tol: 1e-12,
-            },
-            rank_tol: 1e-12,
-            max_reduced_dim: Some((n / 5).max(8)),
-            backend: SolverBackend::Sparse,
-        };
+        // Full pipeline, serial then parallel: same workload, the only
+        // difference is the fan-out worker count. One untimed warmup run
+        // first, so neither measured path pays first-touch page faults or
+        // cold-allocator cost (the serial run would otherwise absorb all
+        // of it and inflate the reported parallel speedup).
+        let opts = reduction_opts(n);
+        std::hint::black_box(reduce_network_timed(&net, &opts).expect("warmup reduction"));
+        let t_reduce_serial_us = with_serial_engine(|| {
+            let t0 = Instant::now();
+            std::hint::black_box(reduce_network_timed(&net, &opts).expect("serial reduction"));
+            t0.elapsed().as_secs_f64() * 1e6
+        });
         let t0 = Instant::now();
-        let rm = reduce_network(&net, &opts).expect("reduction");
+        let (rm, stages) = reduce_network_timed(&net, &opts).expect("reduction");
         let t_reduce_us = t0.elapsed().as_secs_f64() * 1e6;
+        println!(
+            "  reduce {n} -> {} states: {:.1} ms parallel vs {:.1} ms serial ({:.2}x on {} workers)",
+            rm.reduced_dim(),
+            t_reduce_us / 1e3,
+            t_reduce_serial_us / 1e3,
+            t_reduce_serial_us / t_reduce_us,
+            stages.threads,
+        );
+        println!(
+            "    stages: assemble {:.1} ms, partition {:.1} ms, krylov {:.1} ms, svd {:.1} ms, project {:.1} ms",
+            stages.assemble_us / 1e3,
+            stages.partition_us / 1e3,
+            stages.krylov_us / 1e3,
+            stages.svd_us / 1e3,
+            stages.project_us / 1e3
+        );
+
+        // Full-model frequency sweep, serial vs fanned out.
+        let full_ev = SparseTransferEvaluator::new(
+            &rm.full.g,
+            &rm.full.c,
+            rm.full.b.clone(),
+            rm.full.l.clone(),
+        )
+        .expect("full evaluator");
+        // Same warmup discipline as the reduce comparison above.
+        std::hint::black_box(
+            full_ev
+                .eval_jomega_sweep(&SWEEP_FREQS)
+                .expect("warmup sweep"),
+        );
+        let t_sweep_serial_us = with_serial_engine(|| {
+            let t0 = Instant::now();
+            std::hint::black_box(
+                full_ev
+                    .eval_jomega_sweep(&SWEEP_FREQS)
+                    .expect("serial sweep"),
+            );
+            t0.elapsed().as_secs_f64() * 1e6
+        });
+        let t0 = Instant::now();
+        std::hint::black_box(full_ev.eval_jomega_sweep(&SWEEP_FREQS).expect("sweep"));
+        let t_sweep_us = t0.elapsed().as_secs_f64() * 1e6;
+        println!(
+            "  full sweep ({} freqs): {:.1} ms parallel vs {:.1} ms serial",
+            SWEEP_FREQS.len(),
+            t_sweep_us / 1e3,
+            t_sweep_serial_us / 1e3
+        );
+
         let t_rom = time_with_warmup("rom-eval", 1, 5, || {
             std::hint::black_box(eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s).expect("rom eval"));
         });
         let t_rom_eval_us = t_rom.per_iter().as_secs_f64() * 1e6;
-        println!(
-            "  reduce {n} -> {} states: {:.1} ms; ROM eval {:?}/iter",
-            rm.reduced_dim(),
-            t_reduce_us / 1e3,
-            t_rom.per_iter()
-        );
         if let Some(td) = t_dense_us {
             println!("  sparse speedup vs dense: {:.1}x", td / t_sparse_us);
         }
@@ -123,21 +248,95 @@ fn main() {
             nnz: pencil.nnz(),
             factor_nnz,
             t_sparse_us,
+            t_scalar_us,
             t_dense_us,
             t_reduce_us,
+            t_reduce_serial_us,
+            stages,
+            t_sweep_us,
+            t_sweep_serial_us,
             t_rom_eval_us,
             reduced_dim: rm.reduced_dim(),
         });
     }
 
-    let json = render_json(&rows);
+    let transient = sizes.contains(&10_000).then(transient_scenario);
+
+    let json = render_json(threads, &rows, transient.as_ref());
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
     println!("wrote BENCH_scaling.json ({} sizes)", rows.len());
 }
 
-/// Hand-rolled JSON (the dependency set has no serde): one record per size.
-fn render_json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n  \"bench\": \"scaling\",\n  \"topology\": \"rc_ladder_loaded\",\n  \"omega\": 450.0,\n  \"results\": [\n");
+/// Transient at scale: full vs reduced backward-Euler step response on a
+/// 100×100 RC mesh (10⁴ states) — the time-domain counterpart of the
+/// frequency-domain rows, closing the bench suite's coverage gap.
+fn transient_scenario() -> TransientRow {
+    println!("--- transient: 100x100 RC mesh, {TRANSIENT_STEPS} steps of h = {TRANSIENT_H} ---");
+    let net = rc_grid(100, 100, 1.0, 1e-3, 2.0);
+    let opts = ReductionOpts {
+        num_blocks: 8,
+        krylov: KrylovOpts {
+            expansion_points: vec![],
+            jomega_points: vec![5.0e1, OMEGA_MID, 4.0e3],
+            moments_per_point: 2,
+            deflation_tol: 1e-12,
+        },
+        rank_tol: 1e-12,
+        max_reduced_dim: Some(2000),
+        backend: SolverBackend::Sparse,
+    };
+    let (rm, _) = reduce_network_timed(&net, &opts).expect("grid reduction");
+    let (t_full_us, y_full) = run_transient(TransientSolver::for_full(&rm, TRANSIENT_H), &rm);
+    let (t_rom_us, y_rom) = run_transient(TransientSolver::for_reduced(&rm, TRANSIENT_H), &rm);
+    // Worst per-step output deviation, relative to the full response's
+    // largest magnitude (outputs start at 0, so pointwise relative error
+    // would blow up on the first steps).
+    let y_scale = y_full
+        .iter()
+        .flatten()
+        .fold(0.0_f64, |m, &v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    let max_rel_output_err = y_full
+        .iter()
+        .flatten()
+        .zip(y_rom.iter().flatten())
+        .fold(0.0_f64, |m, (&f, &r)| m.max((f - r).abs()))
+        / y_scale;
+    println!(
+        "  full {:.1} ms vs reduced {:.1} ms ({:.1}x); worst rel output dev {:.2e}",
+        t_full_us / 1e3,
+        t_rom_us / 1e3,
+        t_full_us / t_rom_us,
+        max_rel_output_err
+    );
+    TransientRow {
+        n: rm.full_dim(),
+        reduced_dim: rm.reduced_dim(),
+        t_full_us,
+        t_rom_us,
+        max_rel_output_err,
+    }
+}
+
+fn run_transient(
+    solver: Result<TransientSolver, bdsm_linalg::LinalgError>,
+    rm: &ReducedModel,
+) -> (f64, Vec<Vec<f64>>) {
+    let mut solver = solver.expect("transient solver");
+    let u = vec![1.0; rm.full.b.ncols()];
+    let t0 = Instant::now();
+    let ys = solver
+        .run_constant(&u, TRANSIENT_STEPS)
+        .expect("transient run");
+    (t0.elapsed().as_secs_f64() * 1e6, ys)
+}
+
+/// Hand-rolled JSON (the dependency set has no serde): one record per size
+/// plus the optional transient record.
+fn render_json(threads: usize, rows: &[Row], transient: Option<&TransientRow>) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"topology\": \"rc_ladder_loaded\",\n  \"omega\": {OMEGA_MID:.1},\n  \"threads\": {threads},\n  \"results\": [\n"
+    );
     for (i, r) in rows.iter().enumerate() {
         let dense = r
             .t_dense_us
@@ -150,16 +349,33 @@ fn render_json(rows: &[Row]) -> String {
         writeln!(
             out,
             "    {{\"n\": {}, \"nnz\": {}, \"factor_nnz\": {}, \
-             \"t_sparse_factor_solve_us\": {:.1}, \"t_dense_factor_solve_us\": {}, \
-             \"sparse_speedup\": {}, \"t_reduce_us\": {:.1}, \"t_rom_eval_us\": {:.1}, \
-             \"reduced_dim\": {}, \"mem_sparse_bytes\": {}, \"mem_dense_bytes\": {}}}{}",
+             \"t_sparse_factor_solve_us\": {:.1}, \"t_factor_scalar_us\": {:.1}, \
+             \"t_dense_factor_solve_us\": {}, \"sparse_speedup\": {}, \
+             \"t_reduce_us\": {:.1}, \"t_reduce_serial_us\": {:.1}, \
+             \"reduce_parallel_speedup\": {:.2}, \
+             \"stage_assemble_us\": {:.1}, \"stage_partition_us\": {:.1}, \
+             \"stage_krylov_us\": {:.1}, \"stage_svd_us\": {:.1}, \"stage_project_us\": {:.1}, \
+             \"t_sweep_us\": {:.1}, \"t_sweep_serial_us\": {:.1}, \"sweep_frequencies\": {}, \
+             \"t_rom_eval_us\": {:.1}, \"reduced_dim\": {}, \
+             \"mem_sparse_bytes\": {}, \"mem_dense_bytes\": {}}}{}",
             r.n,
             r.nnz,
             r.factor_nnz,
             r.t_sparse_us,
+            r.t_scalar_us,
             dense,
             speedup,
             r.t_reduce_us,
+            r.t_reduce_serial_us,
+            r.t_reduce_serial_us / r.t_reduce_us,
+            r.stages.assemble_us,
+            r.stages.partition_us,
+            r.stages.krylov_us,
+            r.stages.svd_us,
+            r.stages.project_us,
+            r.t_sweep_us,
+            r.t_sweep_serial_us,
+            SWEEP_FREQS.len(),
             r.t_rom_eval_us,
             r.reduced_dim,
             mem_sparse,
@@ -168,6 +384,26 @@ fn render_json(rows: &[Row]) -> String {
         )
         .expect("string write");
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    match transient {
+        Some(t) => writeln!(
+            out,
+            "  \"transient\": {{\"topology\": \"rc_grid\", \"n\": {}, \"steps\": {}, \
+             \"h\": {:e}, \"reduced_dim\": {}, \"t_full_transient_us\": {:.1}, \
+             \"t_rom_transient_us\": {:.1}, \"transient_speedup\": {:.2}, \
+             \"max_rel_output_err\": {:.3e}}}",
+            t.n,
+            TRANSIENT_STEPS,
+            TRANSIENT_H,
+            t.reduced_dim,
+            t.t_full_us,
+            t.t_rom_us,
+            t.t_full_us / t.t_rom_us,
+            t.max_rel_output_err,
+        )
+        .expect("string write"),
+        None => out.push_str("  \"transient\": null\n"),
+    }
+    out.push_str("}\n");
     out
 }

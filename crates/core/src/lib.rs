@@ -8,15 +8,22 @@
 //! - [`krylov`] builds a global moment-matching basis with block Arnoldi,
 //!   through either the sparse factorization subsystem (`bdsm-sparse`,
 //!   default) or the dense oracle kernels;
+//! - [`par`] is the threading substrate: scoped-thread fan-out over a
+//!   shared work queue (no external deps), used by the per-point Krylov
+//!   factorizations, the per-block SVDs, and the per-frequency sweeps —
+//!   all bitwise-deterministic for any worker count;
 //! - [`projector`] splits it into the structured projector
 //!   `V = diag(V₁,…,V_k)` (per-block SVD compression fanned out over
-//!   scoped threads) and applies congruence transforms, including a
+//!   [`par`]) and applies congruence transforms, including a
 //!   sparse-input variant that never densifies the full model;
 //! - [`reduce`] wires network → MNA → partition → basis → reduced model,
 //!   dispatching on [`reduce::SolverBackend`];
+//!   [`reduce::reduce_network_timed`] additionally reports per-stage wall
+//!   times for the benchmark artifact trail;
 //! - [`transfer`] evaluates `H(s) = L(G + sC)⁻¹B` for full and reduced
 //!   models so they can be compared frequency by frequency — dense,
-//!   Hessenberg, and sparse ([`transfer::SparseTransferEvaluator`]) paths;
+//!   Hessenberg, and sparse ([`transfer::SparseTransferEvaluator`]) paths,
+//!   with `jω` sweeps fanned out per frequency;
 //! - [`synth`] generates ladder/grid/feeder test topologies.
 //!
 //! # Examples
@@ -33,6 +40,7 @@
 //! ```
 
 pub mod krylov;
+pub mod par;
 pub mod projector;
 pub mod reduce;
 pub mod synth;
@@ -41,8 +49,8 @@ pub mod transfer;
 pub use krylov::{global_krylov_basis, global_krylov_basis_sparse, KrylovOpts};
 pub use projector::BlockDiagProjector;
 pub use reduce::{
-    reduce_network, CoreError, DenseDescriptor, ReducedModel, ReductionOpts, SolverBackend,
-    SparseDescriptor,
+    reduce_network, reduce_network_timed, CoreError, DenseDescriptor, ReducedModel, ReductionOpts,
+    SolverBackend, SparseDescriptor, StageTimings,
 };
 pub use transfer::{
     eval_transfer, transfer_rel_err, CMatrix, SparseTransferEvaluator, TransferEvaluator, ZLu,

@@ -51,35 +51,21 @@ impl BlockDiagProjector {
             });
         }
         // Blocks are independent, so the per-block SVD compression fans out
-        // over scoped threads — capped at the machine's parallelism, since
-        // the block count is caller-controlled. Blocks are near-balanced by
-        // construction, so static chunking distributes the work evenly, and
-        // results land in order via the per-chunk result slots.
+        // over the shared work queue of `crate::par` — dynamic scheduling
+        // absorbs whatever imbalance the rank structure introduces, and the
+        // results land in block order, keeping the projector deterministic
+        // for any worker count.
         let mut slices = Vec::with_capacity(block_sizes.len());
         let mut row0 = 0;
         for &size in block_sizes {
             slices.push(global.submatrix(row0, row0 + size, 0, global.ncols()));
             row0 += size;
         }
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .clamp(1, slices.len().max(1));
-        let chunk = slices.len().div_ceil(workers).max(1);
-        let mut results: Vec<Option<Result<Matrix>>> = (0..slices.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (slice_chunk, result_chunk) in slices.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (slice, slot) in slice_chunk.iter().zip(result_chunk.iter_mut()) {
-                        *slot = Some(compress_block_slice(slice, rank_tol, max_block_dim));
-                    }
-                });
-            }
-        });
-        let blocks = results
-            .into_iter()
-            .map(|r| r.expect("every scoped thread ran to completion"))
-            .collect::<Result<Vec<Matrix>>>()?;
+        let blocks = crate::par::parallel_map(&slices, |_, slice| {
+            compress_block_slice(slice, rank_tol, max_block_dim)
+        })
+        .into_iter()
+        .collect::<Result<Vec<Matrix>>>()?;
         Ok(Self::from_blocks(blocks))
     }
 

@@ -206,6 +206,34 @@ impl ReducedModel {
     }
 }
 
+/// Wall-clock breakdown of one [`reduce_network_timed`] run, in
+/// microseconds per pipeline stage — the payload behind the scaling
+/// benchmark's per-stage artifact trail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// MNA assembly plus the block-contiguous state permutation.
+    pub assemble_us: f64,
+    /// BFS partitioning of the bus graph.
+    pub partition_us: f64,
+    /// Global Krylov basis: shifted factorizations + block recurrences
+    /// (fans out per expansion point).
+    pub krylov_us: f64,
+    /// Projector construction: per-block SVD compression (fans out per
+    /// block).
+    pub svd_us: f64,
+    /// The four congruence products `VᵀGV`, `VᵀCV`, `VᵀB`, `LV`.
+    pub project_us: f64,
+    /// Worker cap the fan-out stages ran under (`par::max_threads`).
+    pub threads: usize,
+}
+
+impl StageTimings {
+    /// Total across the instrumented stages.
+    pub fn total_us(&self) -> f64 {
+        self.assemble_us + self.partition_us + self.krylov_us + self.svd_us + self.project_us
+    }
+}
+
 /// Runs the full BDSM reduction pipeline on a network.
 ///
 /// # Errors
@@ -215,11 +243,30 @@ impl ReducedModel {
 /// - [`CoreError::Linalg`] if a factorization fails (e.g. a singular
 ///   `G + s₀C` at an expansion point).
 pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedModel> {
+    reduce_network_timed(net, opts).map(|(rm, _)| rm)
+}
+
+/// [`reduce_network`] with a per-stage wall-clock breakdown attached.
+///
+/// # Errors
+///
+/// Same as [`reduce_network`].
+pub fn reduce_network_timed(
+    net: &Network,
+    opts: &ReductionOpts,
+) -> Result<(ReducedModel, StageTimings)> {
+    let mut stages = StageTimings {
+        threads: crate::par::max_threads(),
+        ..StageTimings::default()
+    };
     if net.num_inputs() == 0 || net.num_outputs() == 0 {
         return Err(CircuitError::NoPorts.into());
     }
+    let t0 = std::time::Instant::now();
     let desc = mna::assemble(net)?;
+    let t1 = std::time::Instant::now();
     let partition = partition_network(net, opts.num_blocks)?;
+    stages.partition_us = t1.elapsed().as_secs_f64() * 1e6;
     let (new_of_old, block_sizes) = grouped_state_order(net, &desc, &partition);
 
     let full = SparseDescriptor {
@@ -228,6 +275,7 @@ pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedMode
         b: desc.b.permute_rows(&new_of_old).to_dense(),
         l: desc.l.permute_cols(&new_of_old).to_dense(),
     };
+    stages.assemble_us = t0.elapsed().as_secs_f64() * 1e6 - stages.partition_us;
 
     if let Some(total) = opts.max_reduced_dim {
         // Every block keeps at least one state, so a budget below k is
@@ -244,14 +292,19 @@ pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedMode
         SolverBackend::Sparse => None,
         SolverBackend::Dense => Some(full.to_dense()),
     };
+    let t2 = std::time::Instant::now();
     let global = match &dense_oracle {
         None => global_krylov_basis_sparse(&full.g, &full.c, &full.b, &opts.krylov)?,
         Some(dense) => global_krylov_basis(&dense.g, &dense.c, &dense.b, &opts.krylov)?,
     };
+    stages.krylov_us = t2.elapsed().as_secs_f64() * 1e6;
+    let t3 = std::time::Instant::now();
     let max_block_dim = opts.max_reduced_dim.map(|total| total / block_sizes.len());
     let projector =
         BlockDiagProjector::from_global_basis(&global, &block_sizes, opts.rank_tol, max_block_dim)?;
+    stages.svd_us = t3.elapsed().as_secs_f64() * 1e6;
 
+    let t4 = std::time::Instant::now();
     let (g_r, c_r) = match &dense_oracle {
         None => (
             projector.project_square_sparse(&full.g)?,
@@ -264,19 +317,23 @@ pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedMode
     };
     let b_r = projector.project_input(&full.b)?;
     let l_r = projector.project_output(&full.l)?;
+    stages.project_us = t4.elapsed().as_secs_f64() * 1e6;
 
-    Ok(ReducedModel {
-        g: g_r,
-        c: c_r,
-        b: b_r,
-        l: l_r,
-        projector,
-        partition,
-        state_order: new_of_old,
-        block_sizes,
-        full,
-        backend: opts.backend,
-    })
+    Ok((
+        ReducedModel {
+            g: g_r,
+            c: c_r,
+            b: b_r,
+            l: l_r,
+            projector,
+            partition,
+            state_order: new_of_old,
+            block_sizes,
+            full,
+            backend: opts.backend,
+        },
+        stages,
+    ))
 }
 
 #[cfg(test)]

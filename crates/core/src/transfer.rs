@@ -15,7 +15,7 @@
 
 use bdsm_linalg::dense::hessenberg::{hessenberg, solve_shifted_hessenberg};
 use bdsm_linalg::{Complex64, LinalgError, Matrix, Result};
-use bdsm_sparse::{CscMatrix, ShiftedPencil};
+use bdsm_sparse::{CscMatrix, LuWorkspace, ShiftedPencil};
 use std::ops::{Index, IndexMut};
 
 /// A small dense complex matrix (row-major), used for transfer samples.
@@ -347,15 +347,17 @@ impl TransferEvaluator {
         }
     }
 
-    /// Evaluates `H(jω)` at each angular frequency.
+    /// Evaluates `H(jω)` at each angular frequency, fanning the samples
+    /// out over [`crate::par`] workers (each sample is an independent
+    /// factorization, so the sweep is embarrassingly parallel and the
+    /// result is bitwise-identical for any worker count).
     ///
     /// # Errors
     ///
-    /// Propagates the first evaluation failure.
+    /// Propagates the first evaluation failure (in frequency order).
     pub fn eval_jomega_sweep(&self, omegas: &[f64]) -> Result<Vec<CMatrix>> {
-        omegas
-            .iter()
-            .map(|&w| self.eval(Complex64::jomega(w)))
+        crate::par::parallel_map(omegas, |_, &w| self.eval(Complex64::jomega(w)))
+            .into_iter()
             .collect()
     }
 }
@@ -401,7 +403,17 @@ impl SparseTransferEvaluator {
     ///
     /// Returns [`LinalgError::Singular`] if `s` is a pole of the model.
     pub fn eval(&self, s: Complex64) -> Result<CMatrix> {
-        let lu = self.pencil.factor_complex(s)?;
+        self.eval_with(s, &mut LuWorkspace::new())
+    }
+
+    /// Evaluates `H(s)` reusing a caller-owned factorization workspace —
+    /// the allocation-free shape of a frequency sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if `s` is a pole of the model.
+    pub fn eval_with(&self, s: Complex64, ws: &mut LuWorkspace<Complex64>) -> Result<CMatrix> {
+        let lu = self.pencil.factor_complex_with(s, ws)?;
         let mut h = CMatrix::zeros(self.l.nrows(), self.b.ncols());
         for j in 0..self.b.ncols() {
             let x = lu.solve_real(&self.b.col(j))?;
@@ -417,16 +429,19 @@ impl SparseTransferEvaluator {
         Ok(h)
     }
 
-    /// Evaluates `H(jω)` at each angular frequency.
+    /// Evaluates `H(jω)` at each angular frequency — one sparse numeric
+    /// refactorization per sample, fanned out over [`crate::par`] workers
+    /// that each reuse a private [`LuWorkspace`].
     ///
     /// # Errors
     ///
-    /// Propagates the first evaluation failure.
+    /// Propagates the first evaluation failure (in frequency order).
     pub fn eval_jomega_sweep(&self, omegas: &[f64]) -> Result<Vec<CMatrix>> {
-        omegas
-            .iter()
-            .map(|&w| self.eval(Complex64::jomega(w)))
-            .collect()
+        crate::par::parallel_map_with(omegas, LuWorkspace::new, |ws, _, &w| {
+            self.eval_with(Complex64::jomega(w), ws)
+        })
+        .into_iter()
+        .collect()
     }
 }
 

@@ -1,0 +1,99 @@
+//! The parallel reduction engine's contract: fan-out changes wall-clock,
+//! never bytes. Reduced models and frequency sweeps must be
+//! **bitwise-identical** for any worker count, because every work item
+//! (expansion point, block SVD, frequency sample) is a pure function of
+//! its inputs and results are merged in item order.
+
+use bdsm_core::krylov::KrylovOpts;
+use bdsm_core::reduce::{reduce_network, reduce_network_timed, ReductionOpts, SolverBackend};
+use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
+use bdsm_core::transfer::SparseTransferEvaluator;
+use bdsm_linalg::Complex64;
+
+fn engine_opts() -> ReductionOpts {
+    ReductionOpts {
+        num_blocks: 6,
+        krylov: KrylovOpts {
+            expansion_points: vec![1.0e2],
+            jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
+            moments_per_point: 2,
+            deflation_tol: 1e-12,
+        },
+        rank_tol: 1e-12,
+        max_reduced_dim: Some(48),
+        backend: SolverBackend::Sparse,
+    }
+}
+
+fn model_bytes(rm: &bdsm_core::ReducedModel) -> Vec<f64> {
+    let mut out = Vec::new();
+    for m in [&rm.g, &rm.c, &rm.b, &rm.l] {
+        out.extend_from_slice(m.as_slice());
+    }
+    out
+}
+
+/// Runs the same reduction under worker counts 1, 2, and 5 (forced via
+/// `BDSM_THREADS`, which deliberately oversubscribes small machines) and
+/// requires identical bytes. Restores the environment afterwards.
+#[test]
+fn reduced_model_is_bitwise_invariant_under_thread_count() {
+    let net = rc_ladder_loaded(400, 1.0, 1e-3, 5.0, 5);
+    let opts = engine_opts();
+    let prev = std::env::var("BDSM_THREADS").ok();
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "5"] {
+        std::env::set_var("BDSM_THREADS", threads);
+        let (rm, stages) = reduce_network_timed(&net, &opts).unwrap();
+        assert_eq!(stages.threads, threads.parse::<usize>().unwrap());
+        assert!(stages.krylov_us > 0.0 && stages.total_us() > 0.0);
+        outputs.push((threads, model_bytes(&rm)));
+    }
+    match prev {
+        Some(v) => std::env::set_var("BDSM_THREADS", v),
+        None => std::env::remove_var("BDSM_THREADS"),
+    }
+    let (_, ref reference) = outputs[0];
+    for (threads, bytes) in &outputs[1..] {
+        assert_eq!(
+            bytes, reference,
+            "reduced model differs between 1 and {threads} workers"
+        );
+    }
+}
+
+/// The parallel frequency sweep must reproduce the one-at-a-time
+/// evaluations exactly, sample for sample.
+#[test]
+fn parallel_sweep_matches_serial_evals_bitwise() {
+    let net = rc_grid(12, 14, 1.0, 1e-3, 2.0);
+    let rm = reduce_network(&net, &engine_opts()).unwrap();
+    let ev =
+        SparseTransferEvaluator::new(&rm.full.g, &rm.full.c, rm.full.b.clone(), rm.full.l.clone())
+            .unwrap();
+    let omegas: Vec<f64> = (0..12).map(|i| 10.0_f64 * 1.7_f64.powi(i)).collect();
+    let sweep = ev.eval_jomega_sweep(&omegas).unwrap();
+    assert_eq!(sweep.len(), omegas.len());
+    for (k, &w) in omegas.iter().enumerate() {
+        let one = ev.eval(Complex64::jomega(w)).unwrap();
+        assert_eq!(sweep[k], one, "sweep sample at ω={w} differs");
+    }
+}
+
+/// Stage timings must decompose the pipeline: every stage non-negative,
+/// and the reduced model identical to the untimed entry point's.
+#[test]
+fn timed_reduction_matches_untimed() {
+    let net = rc_ladder_loaded(200, 1.0, 1e-3, 5.0, 5);
+    let opts = engine_opts();
+    let rm_a = reduce_network(&net, &opts).unwrap();
+    let (rm_b, stages) = reduce_network_timed(&net, &opts).unwrap();
+    assert_eq!(model_bytes(&rm_a), model_bytes(&rm_b));
+    assert!(stages.assemble_us >= 0.0);
+    assert!(stages.partition_us >= 0.0);
+    assert!(stages.krylov_us > 0.0);
+    assert!(stages.project_us > 0.0);
+    assert!(stages.threads >= 1);
+    let q = rm_b.reduced_dim();
+    assert!(q <= 48 && q >= rm_b.block_sizes.len());
+}

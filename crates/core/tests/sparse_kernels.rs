@@ -14,7 +14,7 @@
 use bdsm_circuit::{mna, Network, GROUND};
 use bdsm_core::synth::{ieee_like_feeder, rc_grid, rc_ladder_loaded};
 use bdsm_linalg::{Complex64, DenseLu, LinalgError};
-use bdsm_sparse::{CscMatrix, FillOrdering, ShiftedPencil, SparseLu};
+use bdsm_sparse::{CscMatrix, FillOrdering, LuWorkspace, NumericKernel, ShiftedPencil, SparseLu};
 
 /// Deterministic xorshift in `[0, 1)`, so the "random" networks are
 /// reproducible across runs.
@@ -163,6 +163,123 @@ fn symmetric_permutation_round_trips() {
     let xp = SparseLu::factor(&gp).unwrap().solve(&bp).unwrap();
     let x_back: Vec<f64> = (0..n).map(|i| xp[perm[i]]).collect();
     assert!(bdsm_linalg::vector::rel_err(&x_back, &x, 1e-30) < 1e-10);
+}
+
+/// The supernodal kernel against the scalar oracle, on the matrices the
+/// pipeline actually factors: real shifts across every test topology, one
+/// shared workspace reused for all of them.
+#[test]
+fn supernodal_kernel_matches_scalar_on_mna_real_shifts() {
+    let mut ws_scalar = LuWorkspace::<f64>::new();
+    let mut ws_super = LuWorkspace::<f64>::new();
+    for (name, net) in test_networks() {
+        let d = mna::assemble(&net).unwrap();
+        let (g, c) = (d.g.to_csc(), d.c.to_csc());
+        let n = g.nrows();
+        let scalar = ShiftedPencil::new(&g, &c)
+            .unwrap()
+            .with_numeric_kernel(NumericKernel::Scalar);
+        let blocked = ShiftedPencil::new(&g, &c).unwrap();
+        assert_eq!(blocked.numeric_kernel(), NumericKernel::Supernodal);
+        let mut r = rng(0x9e37 ^ n as u64);
+        let b: Vec<f64> = (0..n).map(|_| r() - 0.5).collect();
+        for &s in &[1.0, 1.0e2, 1.0e4] {
+            let lu_s = scalar.factor_real_with(s, &mut ws_scalar).unwrap();
+            let lu_b = blocked.factor_real_with(s, &mut ws_super).unwrap();
+            assert_eq!(
+                lu_s.factor_nnz(),
+                lu_b.factor_nnz(),
+                "{name}: kernels disagree on fill at s={s}"
+            );
+            let xs = lu_s.solve(&b).unwrap();
+            let xb = lu_b.solve(&b).unwrap();
+            let rel = bdsm_linalg::vector::rel_err(&xb, &xs, 1e-30);
+            assert!(rel <= 1e-10, "{name}: kernels disagree at s={s}: {rel}");
+        }
+    }
+}
+
+/// Same cross-check at complex shifts `s = jω` — the frequency-sweep and
+/// `jω`-Krylov shape — including agreement with the dense `ZLu` oracle.
+#[test]
+fn supernodal_kernel_matches_scalar_on_mna_complex_shifts() {
+    let mut ws = LuWorkspace::<Complex64>::new();
+    for (name, net) in test_networks() {
+        let d = mna::assemble(&net).unwrap();
+        let (g, c) = (d.g.to_csc(), d.c.to_csc());
+        let n = g.nrows();
+        let scalar = ShiftedPencil::new(&g, &c)
+            .unwrap()
+            .with_numeric_kernel(NumericKernel::Scalar);
+        let blocked = ShiftedPencil::new(&g, &c).unwrap();
+        let mut r = rng(0x517e ^ n as u64);
+        let b: Vec<f64> = (0..n).map(|_| r() - 0.5).collect();
+        for &w in &[5.0e1, 4.0e3] {
+            let s = Complex64::jomega(w);
+            let xs = scalar.factor_complex(s).unwrap().solve_real(&b).unwrap();
+            let xb = blocked
+                .factor_complex_with(s, &mut ws)
+                .unwrap()
+                .solve_real(&b)
+                .unwrap();
+            let num: f64 = xs
+                .iter()
+                .zip(&xb)
+                .map(|(p, q)| (*p - *q).abs_sq())
+                .sum::<f64>()
+                .sqrt();
+            let den: f64 = xs.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+            assert!(
+                num / den <= 1e-10,
+                "{name}: kernels disagree at ω={w}: {}",
+                num / den
+            );
+            let zlu =
+                bdsm_core::transfer::ZLu::factor_shifted(&g.to_dense(), &c.to_dense(), s).unwrap();
+            let xd = zlu.solve_real(&b).unwrap();
+            let numd: f64 = xb
+                .iter()
+                .zip(&xd)
+                .map(|(p, q)| (*p - *q).abs_sq())
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                numd / den <= 1e-10,
+                "{name}: supernodal vs ZLu at ω={w}: {}",
+                numd / den
+            );
+        }
+    }
+}
+
+/// Both kernels must report the same singular failure on a structurally
+/// singular MNA matrix, and must leave their workspaces reusable.
+#[test]
+fn both_kernels_report_singular_and_recover() {
+    let mut net = Network::new();
+    let a = net.add_bus("a");
+    let b = net.add_bus("floating");
+    net.add_resistor(a, GROUND, 1.0).unwrap();
+    net.add_capacitor(a, b, 1e-3).unwrap();
+    net.add_port(a).unwrap();
+    let d = mna::assemble(&net).unwrap();
+    let (g, c) = (d.g.to_csc(), d.c.to_csc());
+    for kernel in [NumericKernel::Scalar, NumericKernel::Supernodal] {
+        let pencil = ShiftedPencil::new(&g, &c)
+            .unwrap()
+            .with_numeric_kernel(kernel);
+        let mut ws = LuWorkspace::<f64>::new();
+        assert!(
+            matches!(
+                pencil.factor_real_with(0.0, &mut ws),
+                Err(LinalgError::Singular { .. })
+            ),
+            "{kernel:?} missed the singular G"
+        );
+        // The workspace must be clean after the failure: the regular
+        // shift factors through the same workspace.
+        assert!(pencil.factor_real_with(10.0, &mut ws).is_ok());
+    }
 }
 
 #[test]

@@ -201,20 +201,21 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.nrows, rhs.ncols);
-        // ikj loop order: streams over rhs rows, friendly to row-major layout.
-        for i in 0..self.nrows {
-            for k in 0..self.ncols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, r) in orow.iter_mut().zip(rrow) {
-                    *o += aik * r;
-                }
-            }
-        }
+        // Row-major C = A·B is column-major Cᵀ = Bᵀ·Aᵀ, and a row-major
+        // buffer *is* its transpose read column-major — so the blocked
+        // column-major kernel applies directly with swapped operands.
+        let (m, k, n) = (self.nrows, self.ncols, rhs.ncols);
+        crate::dense::gemm::gemm_acc(
+            n,
+            k,
+            m,
+            rhs.as_slice(),
+            n,
+            self.as_slice(),
+            k,
+            out.as_mut_slice(),
+            n,
+        );
         Ok(out)
     }
 

@@ -1,6 +1,7 @@
 //! Dense kernels: matrix storage, factorizations, and spectral routines.
 
 pub mod eig_sym;
+pub mod gemm;
 pub mod hessenberg;
 pub mod lu;
 pub mod matrix;
@@ -8,6 +9,7 @@ pub mod qr;
 pub mod svd;
 
 pub use eig_sym::SymEig;
+pub use gemm::{gemm_acc, gemm_sub, trsv_unit_lower, GemmScalar};
 pub use hessenberg::{hessenberg, solve_shifted_hessenberg, Hessenberg};
 pub use lu::DenseLu;
 pub use matrix::Matrix;

@@ -33,6 +33,7 @@ pub mod vector;
 
 pub use complex::Complex64;
 pub use dense::{
-    hessenberg, solve_shifted_hessenberg, DenseLu, DenseQr, Hessenberg, Matrix, Svd, SymEig,
+    gemm_acc, gemm_sub, hessenberg, solve_shifted_hessenberg, trsv_unit_lower, DenseLu, DenseQr,
+    GemmScalar, Hessenberg, Matrix, Svd, SymEig,
 };
 pub use error::{LinalgError, Result};

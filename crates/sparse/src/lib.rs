@@ -66,6 +66,6 @@ pub mod ordering;
 pub mod scalar;
 
 pub use csc::CscMatrix;
-pub use lu::{ShiftedPencil, SparseLu};
+pub use lu::{LuWorkspace, NumericKernel, ShiftedPencil, SparseLu};
 pub use ordering::FillOrdering;
 pub use scalar::Scalar;

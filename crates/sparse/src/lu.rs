@@ -1,5 +1,6 @@
-//! Left-looking sparse LU with partial pivoting, and the shifted pencil
-//! `A(s) = G + sC` whose symbolic work is shared across shifts.
+//! Left-looking sparse LU with partial pivoting — scalar and supernodal
+//! numeric kernels — and the shifted pencil `A(s) = G + sC` whose symbolic
+//! work and scratch allocations are shared across shifts.
 //!
 //! The factorization is the Gilbert–Peierls scheme: for each column it
 //! computes the reach of the column's pattern through the graph of `L`
@@ -8,20 +9,161 @@
 //! diagonal entry of the fill-reducing ordering — keeping the AMD/RCM
 //! quality intact unless a pivot is genuinely too small.
 //!
+//! Two numeric kernels implement the elimination ([`NumericKernel`]):
+//!
+//! - [`NumericKernel::Scalar`] walks each reached pivot's `L` column as a
+//!   scattered axpy — the verification oracle;
+//! - [`NumericKernel::Supernodal`] (default) detects **supernodes** —
+//!   runs of consecutive pivot columns with identical below-diagonal
+//!   structure — as columns complete, packs them into dense column-major
+//!   panels, and eliminates whole supernodes at once with the blocked
+//!   dense micro-kernels of `bdsm-linalg` (`trsv_unit_lower` on the
+//!   diagonal block, `gemm_sub` on the below-panel). On matrices with any
+//!   meaningful fill the packed panels turn the indirection-chasing inner
+//!   loop into contiguous streams.
+//!
 //! [`ShiftedPencil`] is the reuse story for the Krylov and transient hot
 //! paths: the pattern union of `G` and `C` and its fill-reducing ordering
 //! are computed once, after which every shift `s` (real or `jω`) is a pure
-//! numeric refactorization.
+//! numeric refactorization. The `factor_*_with` variants additionally
+//! recycle a caller-owned [`LuWorkspace`] so a shift sweep performs no
+//! per-shift symbolic work **and** no per-shift scratch allocation.
 
 use crate::csc::CscMatrix;
 use crate::ordering::{order, FillOrdering};
 use crate::scalar::Scalar;
-use bdsm_linalg::{Complex64, LinalgError, Result};
+use bdsm_linalg::{gemm_sub, trsv_unit_lower, Complex64, LinalgError, Result};
 
 /// Diagonal-preference threshold for partial pivoting: the diagonal entry
 /// of the ordered matrix is kept as pivot whenever its magnitude is at
 /// least `PIVOT_THRESHOLD` times the column maximum.
 const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Widest supernode the packed panels will grow to. Bounds the dense
+/// panel footprint (`rows × cols`) while leaving plenty of room for the
+/// fronts that fill-in actually produces on grid matrices.
+const SNODE_MAX_COLS: usize = 48;
+
+/// Columns with fewer below-diagonal entries than this never open a
+/// supernode: on quasi-1D matrices (ladders, tridiagonals) the packed
+/// panels would all be width-1 slivers and the bookkeeping would only be
+/// overhead, so those columns stay on the scalar path at zero cost.
+const SNODE_MIN_BELOW: usize = 4;
+
+/// `snode_of_step` sentinel for columns that opted out of supernode
+/// packing.
+const NO_SNODE: usize = usize::MAX;
+
+/// Which numeric elimination kernel [`SparseLu`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumericKernel {
+    /// Per-pivot scattered axpys over the stored `L` columns. Kept as the
+    /// oracle the supernodal kernel is cross-checked against.
+    Scalar,
+    /// Supernode-packed panels eliminated with blocked dense kernels
+    /// (`bdsm_linalg::trsv_unit_lower` + `bdsm_linalg::gemm_sub`).
+    #[default]
+    Supernodal,
+}
+
+/// Reusable scratch for sparse factorizations.
+///
+/// One workspace serves any number of [`SparseLu::factor_with`] /
+/// [`ShiftedPencil::factor_real_with`] / [`ShiftedPencil::factor_complex_with`]
+/// calls of the same scalar type; buffers grow to the largest dimension
+/// seen and are never shrunk or reallocated between identical-size calls.
+/// A workspace is cheap to create, so per-thread workspaces are the
+/// intended pattern for multi-shift fan-out.
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace<T: Scalar> {
+    /// Dense scatter target for the active column.
+    x: Vec<T>,
+    /// Stamp-based membership marks for `x`.
+    mark: Vec<usize>,
+    /// Monotone stamp; survives across calls so `mark` never needs clearing.
+    stamp: usize,
+    /// Reached rows of the active column (worklist + final pattern).
+    pattern: Vec<usize>,
+    /// Reached pivot steps of the active column, sorted.
+    pivots: Vec<usize>,
+    /// Shifted pencil values `G + sC`, assembled in place per shift.
+    avals: Vec<T>,
+    /// row → position inside the *open* supernode (`usize::MAX` outside).
+    snode_pos: Vec<usize>,
+    /// Dense gather panel for supernodal updates (`u` block then below block).
+    dwork: Vec<T>,
+    /// Supernode panel pool: entries `[..snodes_used)` belong to the
+    /// current factorization; the rest keep their `rows`/`vals` capacity
+    /// from earlier calls so panel packing allocates nothing per shift.
+    snodes: Vec<Supernode<T>>,
+    /// Entries of `snodes` in use by the current factorization.
+    snodes_used: usize,
+    /// pivot step → supernode id ([`NO_SNODE`] for opted-out columns).
+    snode_of_step: Vec<usize>,
+}
+
+impl<T: Scalar> LuWorkspace<T> {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.x.len() < n {
+            self.x.resize(n, T::ZERO);
+            self.mark.resize(n, 0);
+            self.snode_pos.resize(n, usize::MAX);
+            self.dwork.resize(n, T::ZERO);
+        }
+        self.pattern.clear();
+        self.pivots.clear();
+        self.snode_of_step.clear();
+        self.snodes_used = 0;
+    }
+}
+
+/// One detected supernode: `ncols` consecutive pivot steps (starting at
+/// `start`) whose `L` columns share the same below-diagonal row set,
+/// packed as a dense column-major panel.
+///
+/// `rows[0..ncols]` are the pivot rows in step order (the unit-diagonal
+/// block), `rows[ncols..]` the shared below-diagonal rows. `vals` is
+/// `rows.len() × ncols` column-major; entries above the in-panel diagonal
+/// are structural zeros and the diagonal itself is stored as `1`.
+#[derive(Debug, Clone, Default)]
+struct Supernode<T> {
+    start: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    vals: Vec<T>,
+}
+
+/// Borrowed CSC parts of the matrix being factored — lets the shifted
+/// pencil hand over its union pattern plus freshly assembled values
+/// without constructing a `CscMatrix` (and cloning the pattern) per shift.
+struct CscView<'a, T> {
+    col_ptr: &'a [usize],
+    row_idx: &'a [usize],
+    values: &'a [T],
+}
+
+impl<'a, T> CscView<'a, T> {
+    #[inline]
+    fn col(&self, j: usize) -> (&'a [usize], &'a [T]) {
+        let span = self.col_ptr[j]..self.col_ptr[j + 1];
+        (&self.row_idx[span.clone()], &self.values[span])
+    }
+}
+
+/// The in-progress factorization state shared by the column loop and the
+/// supernode bookkeeping.
+struct Partial<T> {
+    l_cols: Vec<Vec<(usize, T)>>,
+    u_cols: Vec<Vec<(usize, T)>>,
+    u_diag: Vec<T>,
+    prow: Vec<usize>,
+    pinv: Vec<usize>,
+}
 
 /// Sparse LU factorization `A·Q = Pᵀ·L·U` of a square sparse matrix,
 /// with a fill-reducing column ordering `Q` and row pivoting `P`.
@@ -46,7 +188,8 @@ pub struct SparseLu<T: Scalar> {
 }
 
 impl<T: Scalar> SparseLu<T> {
-    /// Factors with the default AMD fill-reducing ordering.
+    /// Factors with the default AMD fill-reducing ordering and the default
+    /// (supernodal) numeric kernel.
     ///
     /// # Errors
     ///
@@ -75,136 +218,37 @@ impl<T: Scalar> SparseLu<T> {
     ///   bad shape or a `q` that is not a permutation;
     /// - [`LinalgError::Singular`] when a column has no usable pivot.
     pub fn factor_with_ordering(a: &CscMatrix<T>, q: &[usize]) -> Result<Self> {
+        Self::factor_with(a, q, NumericKernel::default(), &mut LuWorkspace::new())
+    }
+
+    /// Factors with an explicit ordering, numeric kernel, and reusable
+    /// workspace — the fully-parameterized entry point behind every other
+    /// `factor_*` constructor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`factor_with_ordering`](Self::factor_with_ordering).
+    pub fn factor_with(
+        a: &CscMatrix<T>,
+        q: &[usize],
+        kernel: NumericKernel,
+        ws: &mut LuWorkspace<T>,
+    ) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
-        let n = a.nrows();
-        if q.len() != n || !is_permutation(q, n) {
-            return Err(LinalgError::InvalidArgument {
-                what: "sparse-lu: column ordering is not a permutation",
-            });
-        }
-
-        let mut l_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
-        let mut u_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
-        let mut u_diag: Vec<T> = Vec::with_capacity(n);
-        let mut prow = vec![usize::MAX; n];
-        // pinv[original row] = pivot step, MAX while still unpivoted.
-        let mut pinv = vec![usize::MAX; n];
-
-        // Dense scatter workspace with stamp-based membership.
-        let mut x = vec![T::ZERO; n];
-        let mut mark = vec![0usize; n];
-        let mut pattern: Vec<usize> = Vec::new();
-        let mut pivots: Vec<usize> = Vec::new();
-
-        for j in 0..n {
-            let aj = q[j];
-            let stamp = j + 1;
-            // Symbolic: scatter A[:, q[j]] and close the pattern over L.
-            // Every reached row that is already pivotal injects its L column
-            // (the classic reach-in-the-graph-of-L step); processing the
-            // pattern as a worklist computes the transitive closure.
-            pattern.clear();
-            for (&r, &v) in a.col_rows(aj).iter().zip(a.col_values(aj)) {
-                x[r] = v;
-                mark[r] = stamp;
-                pattern.push(r);
-            }
-            let mut idx = 0;
-            while idx < pattern.len() {
-                let r = pattern[idx];
-                idx += 1;
-                let k = pinv[r];
-                if k != usize::MAX {
-                    for &(r2, _) in &l_cols[k] {
-                        if mark[r2] != stamp {
-                            mark[r2] = stamp;
-                            x[r2] = T::ZERO;
-                            pattern.push(r2);
-                        }
-                    }
-                }
-            }
-
-            // Numeric: eliminate reached pivots in increasing step order.
-            pivots.clear();
-            pivots.extend(
-                pattern
-                    .iter()
-                    .filter(|&&r| pinv[r] != usize::MAX)
-                    .map(|&r| pinv[r]),
-            );
-            pivots.sort_unstable();
-            for &k in &pivots {
-                let ukj = x[prow[k]];
-                if ukj.is_zero() {
-                    continue;
-                }
-                for &(r2, lv) in &l_cols[k] {
-                    x[r2] -= lv * ukj;
-                }
-            }
-
-            // Pivot: largest magnitude among unpivoted rows, but keep the
-            // ordering's diagonal when it is within PIVOT_THRESHOLD of it.
-            let mut best = usize::MAX;
-            let mut best_mag = 0.0f64;
-            for &r in &pattern {
-                if pinv[r] == usize::MAX {
-                    let mag = x[r].abs_sq();
-                    if mag > best_mag {
-                        best_mag = mag;
-                        best = r;
-                    }
-                }
-            }
-            if best == usize::MAX || best_mag == 0.0 {
-                return Err(LinalgError::Singular { at: j });
-            }
-            let diag_ok = mark[aj] == stamp
-                && pinv[aj] == usize::MAX
-                && x[aj].abs_sq() >= PIVOT_THRESHOLD * PIVOT_THRESHOLD * best_mag;
-            let piv_row = if diag_ok { aj } else { best };
-            let piv_val = x[piv_row];
-
-            u_cols.push(
-                pivots
-                    .iter()
-                    .filter_map(|&k| {
-                        let v = x[prow[k]];
-                        (!v.is_zero()).then_some((k, v))
-                    })
-                    .collect(),
-            );
-            u_diag.push(piv_val);
-            prow[j] = piv_row;
-            pinv[piv_row] = j;
-            l_cols.push(
-                pattern
-                    .iter()
-                    .filter_map(|&r| {
-                        if r == piv_row || pinv[r] != usize::MAX {
-                            return None;
-                        }
-                        let v = x[r];
-                        (!v.is_zero()).then_some((r, v / piv_val))
-                    })
-                    .collect(),
-            );
-        }
-
-        // pinv served as the "already pivotal" marker above; completed, it
-        // is exactly the inverse row permutation the solves need.
-        Ok(SparseLu {
-            n,
-            l_cols,
-            u_cols,
-            u_diag,
-            prow,
-            pinv,
-            q: q.to_vec(),
-        })
+        let (col_ptr, row_idx, values) = a.parts();
+        factor_parts(
+            a.nrows(),
+            CscView {
+                col_ptr,
+                row_idx,
+                values,
+            },
+            q,
+            kernel,
+            ws,
+        )
     }
 
     /// Dimension of the factored matrix.
@@ -277,6 +321,360 @@ impl<T: Scalar> SparseLu<T> {
     }
 }
 
+/// Factors a matrix given as raw CSC parts. Validates the ordering, runs
+/// the column loop, and — success or failure — leaves the workspace clean
+/// for reuse.
+fn factor_parts<T: Scalar>(
+    n: usize,
+    a: CscView<'_, T>,
+    q: &[usize],
+    kernel: NumericKernel,
+    ws: &mut LuWorkspace<T>,
+) -> Result<SparseLu<T>> {
+    if q.len() != n || !is_permutation(q, n) {
+        return Err(LinalgError::InvalidArgument {
+            what: "sparse-lu: column ordering is not a permutation",
+        });
+    }
+    ws.ensure(n);
+    let mut st = Partial {
+        l_cols: Vec::with_capacity(n),
+        u_cols: Vec::with_capacity(n),
+        u_diag: Vec::with_capacity(n),
+        prow: vec![usize::MAX; n],
+        pinv: vec![usize::MAX; n],
+    };
+    let res = factor_columns(n, &a, q, kernel, ws, &mut st);
+    // The open supernode's row→position scratch must be cleared on *every*
+    // exit path (including Singular), or the next factorization through
+    // this workspace would read stale positions.
+    if ws.snodes_used > 0 {
+        for &r in &ws.snodes[ws.snodes_used - 1].rows {
+            ws.snode_pos[r] = usize::MAX;
+        }
+    }
+    res?;
+    Ok(SparseLu {
+        n,
+        l_cols: st.l_cols,
+        u_cols: st.u_cols,
+        u_diag: st.u_diag,
+        prow: st.prow,
+        pinv: st.pinv,
+        q: q.to_vec(),
+    })
+}
+
+/// The Gilbert–Peierls column loop: symbolic reach, numeric elimination
+/// (scalar or supernodal), threshold pivoting, and supernode maintenance.
+fn factor_columns<T: Scalar>(
+    n: usize,
+    a: &CscView<'_, T>,
+    q: &[usize],
+    kernel: NumericKernel,
+    ws: &mut LuWorkspace<T>,
+    st: &mut Partial<T>,
+) -> Result<()> {
+    for j in 0..n {
+        let aj = q[j];
+        ws.stamp += 1;
+        let stamp = ws.stamp;
+        // Symbolic: scatter A[:, q[j]] and close the pattern over L.
+        // Every reached row that is already pivotal injects its L column
+        // (the classic reach-in-the-graph-of-L step); processing the
+        // pattern as a worklist computes the transitive closure.
+        ws.pattern.clear();
+        let (rows, vals) = a.col(aj);
+        for (&r, &v) in rows.iter().zip(vals) {
+            ws.x[r] = v;
+            ws.mark[r] = stamp;
+            ws.pattern.push(r);
+        }
+        let mut idx = 0;
+        while idx < ws.pattern.len() {
+            let r = ws.pattern[idx];
+            idx += 1;
+            let k = st.pinv[r];
+            if k != usize::MAX {
+                for &(r2, _) in &st.l_cols[k] {
+                    if ws.mark[r2] != stamp {
+                        ws.mark[r2] = stamp;
+                        ws.x[r2] = T::ZERO;
+                        ws.pattern.push(r2);
+                    }
+                }
+            }
+        }
+
+        // Numeric: eliminate reached pivots in increasing step order.
+        ws.pivots.clear();
+        for &r in &ws.pattern {
+            if st.pinv[r] != usize::MAX {
+                ws.pivots.push(st.pinv[r]);
+            }
+        }
+        ws.pivots.sort_unstable();
+        match kernel {
+            NumericKernel::Scalar => {
+                eliminate_scalar(&mut ws.x, &st.l_cols, &st.prow, &ws.pivots);
+            }
+            NumericKernel::Supernodal => {
+                eliminate_supernodal(ws, &st.l_cols, &st.prow);
+            }
+        }
+
+        // Pivot: largest magnitude among unpivoted rows, but keep the
+        // ordering's diagonal when it is within PIVOT_THRESHOLD of it.
+        let mut best = usize::MAX;
+        let mut best_mag = 0.0f64;
+        for &r in &ws.pattern {
+            if st.pinv[r] == usize::MAX {
+                let mag = ws.x[r].abs_sq();
+                if mag > best_mag {
+                    best_mag = mag;
+                    best = r;
+                }
+            }
+        }
+        if best == usize::MAX || best_mag == 0.0 {
+            return Err(LinalgError::Singular { at: j });
+        }
+        let diag_ok = ws.mark[aj] == stamp
+            && st.pinv[aj] == usize::MAX
+            && ws.x[aj].abs_sq() >= PIVOT_THRESHOLD * PIVOT_THRESHOLD * best_mag;
+        let piv_row = if diag_ok { aj } else { best };
+        let piv_val = ws.x[piv_row];
+
+        st.u_cols.push(
+            ws.pivots
+                .iter()
+                .filter_map(|&k| {
+                    let v = ws.x[st.prow[k]];
+                    (!v.is_zero()).then_some((k, v))
+                })
+                .collect(),
+        );
+        st.u_diag.push(piv_val);
+        st.prow[j] = piv_row;
+        st.pinv[piv_row] = j;
+        let l_col: Vec<(usize, T)> = ws
+            .pattern
+            .iter()
+            .filter_map(|&r| {
+                if r == piv_row || st.pinv[r] != usize::MAX {
+                    return None;
+                }
+                let v = ws.x[r];
+                (!v.is_zero()).then_some((r, v / piv_val))
+            })
+            .collect();
+        if kernel == NumericKernel::Supernodal {
+            absorb_column(j, piv_row, &l_col, ws);
+        }
+        st.l_cols.push(l_col);
+    }
+    Ok(())
+}
+
+/// Oracle elimination: one scattered axpy per reached pivot.
+fn eliminate_scalar<T: Scalar>(
+    x: &mut [T],
+    l_cols: &[Vec<(usize, T)>],
+    prow: &[usize],
+    pivots: &[usize],
+) {
+    for &k in pivots {
+        let ukj = x[prow[k]];
+        if ukj.is_zero() {
+            continue;
+        }
+        for &(r2, lv) in &l_cols[k] {
+            x[r2] -= lv * ukj;
+        }
+    }
+}
+
+/// Supernodal elimination: reached pivots are grouped by supernode; each
+/// group is (provably) a contiguous run ending at its supernode's last
+/// column, eliminated as one dense triangular solve plus one panel
+/// multiply-subtract. Runs that fail the structural invariant (or are too
+/// narrow to benefit) fall back to the scalar axpys.
+fn eliminate_supernodal<T: Scalar>(
+    ws: &mut LuWorkspace<T>,
+    l_cols: &[Vec<(usize, T)>],
+    prow: &[usize],
+) {
+    // Field-level split of the workspace: the panel pool and step map are
+    // read while the scatter vector and dense panel are written.
+    let LuWorkspace {
+        x,
+        pivots,
+        dwork,
+        snodes,
+        snode_of_step,
+        ..
+    } = ws;
+    let pivots: &[usize] = pivots;
+    let mut idx = 0;
+    while idx < pivots.len() {
+        let sid = snode_of_step[pivots[idx]];
+        let mut end = idx + 1;
+        while end < pivots.len() && snode_of_step[pivots[end]] == sid {
+            end += 1;
+        }
+        let run = &pivots[idx..end];
+        if sid == NO_SNODE {
+            // Columns that opted out of packing eliminate the scalar way.
+            eliminate_scalar(x, l_cols, prow, run);
+            idx = end;
+            continue;
+        }
+        let sn = &snodes[sid];
+        let wr = run.len();
+        // Structure guarantees the run is the supernode's trailing columns:
+        // any reached column scatters the pivot rows of all later columns
+        // in its supernode. Verify cheaply and fall back if violated.
+        let contiguous = run[wr - 1] - run[0] + 1 == wr && run[wr - 1] == sn.start + sn.ncols - 1;
+        if wr >= 2 && contiguous {
+            let kf = run[0];
+            let off = kf - sn.start;
+            let nr = sn.rows.len();
+            let below = nr - sn.ncols;
+            // Gather the right-hand side (the nascent U segment) and the
+            // below-panel slice of x into the dense workspace.
+            let (u, rest) = dwork.split_at_mut(wr);
+            for (t, ut) in u.iter_mut().enumerate() {
+                *ut = x[prow[kf + t]];
+            }
+            // Diagonal block: u ← L(S,S)⁻¹ u (unit lower triangular).
+            trsv_unit_lower(wr, nr, &sn.vals[off * nr + off..], u);
+            for (t, ut) in u.iter().enumerate() {
+                x[prow[kf + t]] = *ut;
+            }
+            if below > 0 {
+                let y = &mut rest[..below];
+                for (i, yi) in y.iter_mut().enumerate() {
+                    *yi = x[sn.rows[sn.ncols + i]];
+                }
+                // Panel update: x(below) -= L(below, S) · u.
+                gemm_sub(
+                    below,
+                    wr,
+                    1,
+                    &sn.vals[off * nr + sn.ncols..],
+                    nr,
+                    u,
+                    wr,
+                    y,
+                    below,
+                );
+                for (i, yi) in y.iter().enumerate() {
+                    x[sn.rows[sn.ncols + i]] = *yi;
+                }
+            }
+        } else {
+            eliminate_scalar(x, l_cols, prow, run);
+        }
+        idx = end;
+    }
+}
+
+/// Supernode maintenance after column `j` pivots: the column joins the
+/// open supernode when its below-diagonal row set equals the supernode's
+/// remaining below set (the packed panel then grows by one column, with a
+/// row swap keeping pivot rows in step order); otherwise it opens a new
+/// supernode of its own.
+fn absorb_column<T: Scalar>(
+    j: usize,
+    piv_row: usize,
+    l_col: &[(usize, T)],
+    ws: &mut LuWorkspace<T>,
+) {
+    let LuWorkspace {
+        snodes,
+        snodes_used,
+        snode_of_step,
+        snode_pos,
+        ..
+    } = ws;
+    let joins = match (*snodes_used > 0).then(|| &snodes[*snodes_used - 1]) {
+        Some(open) => {
+            let nr = open.rows.len();
+            open.ncols < SNODE_MAX_COLS
+                && snode_pos[piv_row] != usize::MAX
+                && snode_pos[piv_row] >= open.ncols
+                && l_col.len() + 1 == nr - open.ncols
+                && l_col
+                    .iter()
+                    .all(|&(r, _)| snode_pos[r] != usize::MAX && snode_pos[r] >= open.ncols)
+        }
+        None => false,
+    };
+    if joins {
+        let open = &mut snodes[*snodes_used - 1];
+        let nr = open.rows.len();
+        let c = open.ncols;
+        let p = snode_pos[piv_row];
+        if p != c {
+            // Keep invariant rows[c] == pivot row of the supernode's
+            // (c+1)-th column: swap the row slots in every packed column.
+            let displaced = open.rows[c];
+            open.rows.swap(p, c);
+            snode_pos[piv_row] = c;
+            snode_pos[displaced] = p;
+            for t in 0..c {
+                open.vals.swap(t * nr + p, t * nr + c);
+            }
+        }
+        let base = open.vals.len();
+        open.vals.resize(base + nr, T::ZERO);
+        open.vals[base + c] = T::ONE;
+        for &(r, v) in l_col {
+            open.vals[base + snode_pos[r]] = v;
+        }
+        open.ncols += 1;
+        snode_of_step.push(*snodes_used - 1);
+        return;
+    }
+    // Close the open supernode (clearing its scratch positions); then
+    // either stay scalar (skinny column) or open a fresh supernode seeded
+    // by this column.
+    if *snodes_used > 0 {
+        for &r in &snodes[*snodes_used - 1].rows {
+            snode_pos[r] = usize::MAX;
+        }
+    }
+    if l_col.len() < SNODE_MIN_BELOW {
+        // Re-clearing an already-closed supernode later is an idempotent
+        // no-op, so no placeholder is needed for the skipped step.
+        snode_of_step.push(NO_SNODE);
+        return;
+    }
+    // Acquire a pool entry: reuse a prior call's panel buffers when one is
+    // available (this is what keeps refactorization allocation-free after
+    // the first factorization through a workspace).
+    if *snodes_used == snodes.len() {
+        snodes.push(Supernode::default());
+    }
+    let sn = &mut snodes[*snodes_used];
+    sn.start = j;
+    sn.ncols = 1;
+    sn.rows.clear();
+    sn.rows.push(piv_row);
+    sn.rows.extend(l_col.iter().map(|&(r, _)| r));
+    sn.vals.clear();
+    sn.vals.resize(sn.rows.len(), T::ZERO);
+    sn.vals[0] = T::ONE;
+    for (i, &(_, v)) in l_col.iter().enumerate() {
+        sn.vals[1 + i] = v;
+    }
+    for (p, &r) in sn.rows.iter().enumerate() {
+        snode_pos[r] = p;
+    }
+    snode_of_step.push(*snodes_used);
+    *snodes_used += 1;
+}
+
 fn is_permutation(q: &[usize], n: usize) -> bool {
     let mut seen = vec![false; n];
     q.iter().all(|&p| {
@@ -296,7 +694,9 @@ fn is_permutation(q: &[usize], n: usize) -> bool {
 /// [`factor_real`](Self::factor_real) / [`factor_complex`](Self::factor_complex)
 /// call is then a numeric-only refactorization at a new shift — the shape
 /// of the Krylov multi-point loop, the `jω` frequency sweep, and the
-/// transient left-hand side `G + C/h`.
+/// transient left-hand side `G + C/h`. The `_with` variants reuse a
+/// caller-owned [`LuWorkspace`] so shift sweeps also skip all scratch
+/// allocation; the plain variants allocate a throwaway workspace.
 #[derive(Debug, Clone)]
 pub struct ShiftedPencil {
     n: usize,
@@ -308,6 +708,8 @@ pub struct ShiftedPencil {
     cv: Vec<f64>,
     /// Fill-reducing column ordering shared by every factorization.
     q: Vec<usize>,
+    /// Numeric kernel every refactorization runs.
+    kernel: NumericKernel,
 }
 
 impl ShiftedPencil {
@@ -394,7 +796,22 @@ impl ShiftedPencil {
             gv,
             cv,
             q,
+            kernel: NumericKernel::default(),
         })
+    }
+
+    /// Selects the numeric kernel every refactorization will run
+    /// (builder-style; the default is [`NumericKernel::Supernodal`]).
+    #[must_use]
+    pub fn with_numeric_kernel(mut self, kernel: NumericKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The numeric kernel refactorizations run.
+    #[inline]
+    pub fn numeric_kernel(&self) -> NumericKernel {
+        self.kernel
     }
 
     /// Dimension of the pencil.
@@ -414,24 +831,32 @@ impl ShiftedPencil {
         &self.q
     }
 
-    /// Assembles `G + sC` over the union pattern for a scalar type `T`.
-    ///
-    /// The stored pattern is already deduplicated CSC with sorted columns,
-    /// so this is a straight value map — no per-shift re-sorting.
-    fn assemble<T: Scalar>(&self, s: T) -> CscMatrix<T> {
-        let values: Vec<T> = self
-            .gv
-            .iter()
-            .zip(&self.cv)
-            .map(|(&g, &c)| T::from_real(g) + s * T::from_real(c))
-            .collect();
-        CscMatrix::from_sorted_parts(
+    /// Assembles `G + sC` into the workspace and factors it — the shared
+    /// engine of the real and complex paths. The only per-shift work is
+    /// the value map and the numeric factorization; pattern, ordering, and
+    /// all scratch buffers are reused.
+    fn factor_shift_with<T: Scalar>(&self, s: T, ws: &mut LuWorkspace<T>) -> Result<SparseLu<T>> {
+        let mut avals = std::mem::take(&mut ws.avals);
+        avals.clear();
+        avals.extend(
+            self.gv
+                .iter()
+                .zip(&self.cv)
+                .map(|(&g, &c)| T::from_real(g) + s * T::from_real(c)),
+        );
+        let res = factor_parts(
             self.n,
-            self.n,
-            self.col_ptr.clone(),
-            self.row_idx.clone(),
-            values,
-        )
+            CscView {
+                col_ptr: &self.col_ptr,
+                row_idx: &self.row_idx,
+                values: &avals,
+            },
+            &self.q,
+            self.kernel,
+            ws,
+        );
+        ws.avals = avals;
+        res
     }
 
     /// Numeric refactorization at a real shift `s`.
@@ -440,7 +865,17 @@ impl ShiftedPencil {
     ///
     /// Returns [`LinalgError::Singular`] if `G + sC` is singular.
     pub fn factor_real(&self, s: f64) -> Result<SparseLu<f64>> {
-        SparseLu::factor_with_ordering(&self.assemble(s), &self.q)
+        self.factor_real_with(s, &mut LuWorkspace::new())
+    }
+
+    /// Numeric refactorization at a real shift `s`, reusing `ws` for all
+    /// scratch (and the assembled shifted values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if `G + sC` is singular.
+    pub fn factor_real_with(&self, s: f64, ws: &mut LuWorkspace<f64>) -> Result<SparseLu<f64>> {
+        self.factor_shift_with(s, ws)
     }
 
     /// Numeric refactorization at a complex shift `s` (e.g. `jω`).
@@ -449,7 +884,20 @@ impl ShiftedPencil {
     ///
     /// Returns [`LinalgError::Singular`] if `G + sC` is singular.
     pub fn factor_complex(&self, s: Complex64) -> Result<SparseLu<Complex64>> {
-        SparseLu::factor_with_ordering(&self.assemble(s), &self.q)
+        self.factor_complex_with(s, &mut LuWorkspace::new())
+    }
+
+    /// Numeric refactorization at a complex shift, reusing `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if `G + sC` is singular.
+    pub fn factor_complex_with(
+        &self,
+        s: Complex64,
+        ws: &mut LuWorkspace<Complex64>,
+    ) -> Result<SparseLu<Complex64>> {
+        self.factor_shift_with(s, ws)
     }
 }
 
@@ -624,5 +1072,129 @@ mod tests {
         let xs = SparseLu::factor(&a).unwrap().solve(&b).unwrap();
         let xd = DenseLu::factor(&ad).unwrap().solve(&b).unwrap();
         assert!(bdsm_linalg::vector::rel_err(&xs, &xd, 1e-30) < 1e-10);
+    }
+
+    /// Denser pseudo-random matrix whose fill-in actually grows supernodes.
+    fn filled_matrix(n: usize, per_row: usize, seed: u64) -> CscMatrix<f64> {
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0 + rng()));
+            for _ in 0..per_row {
+                let j = (rng() * n as f64) as usize % n;
+                if j != i {
+                    t.push((i, j, rng() - 0.5));
+                }
+            }
+        }
+        CscMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn supernodal_matches_scalar_kernel() {
+        for &(n, per_row) in &[(40usize, 2usize), (80, 5), (120, 8)] {
+            let a = filled_matrix(n, per_row, 0x5eed ^ n as u64);
+            let q = order(&a, FillOrdering::Amd).unwrap();
+            let lu_s =
+                SparseLu::factor_with(&a, &q, NumericKernel::Scalar, &mut LuWorkspace::new())
+                    .unwrap();
+            let lu_b =
+                SparseLu::factor_with(&a, &q, NumericKernel::Supernodal, &mut LuWorkspace::new())
+                    .unwrap();
+            assert_eq!(lu_s.factor_nnz(), lu_b.factor_nnz(), "n={n}");
+            let b: Vec<f64> = (0..n).map(|i| (0.3 * i as f64).sin() + 0.5).collect();
+            let xs = lu_s.solve(&b).unwrap();
+            let xb = lu_b.solve(&b).unwrap();
+            let rel = bdsm_linalg::vector::rel_err(&xb, &xs, 1e-30);
+            assert!(rel <= 1e-10, "kernels disagree at n={n}: {rel}");
+        }
+    }
+
+    #[test]
+    fn supernodal_complex_matches_scalar_kernel() {
+        let n = 70;
+        let g = filled_matrix(n, 4, 0xc0ffee);
+        let c = CscMatrix::from_triplets(
+            n,
+            n,
+            &(0..n)
+                .map(|i| (i, i, 1e-3 * (1.0 + i as f64)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let s = Complex64::jomega(300.0);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 / (2.0 + i as f64)).collect();
+        let base = ShiftedPencil::new(&g, &c).unwrap();
+        let scalar = base.clone().with_numeric_kernel(NumericKernel::Scalar);
+        assert_eq!(scalar.numeric_kernel(), NumericKernel::Scalar);
+        let xs = scalar.factor_complex(s).unwrap().solve_real(&b).unwrap();
+        let xb = base.factor_complex(s).unwrap().solve_real(&b).unwrap();
+        let num: f64 = xs
+            .iter()
+            .zip(&xb)
+            .map(|(p, q)| (*p - *q).abs_sq())
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = xs.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        assert!(
+            num / den <= 1e-10,
+            "complex kernels disagree: {}",
+            num / den
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable_across_identical_shifts() {
+        // Regression guard for the per-shift reallocation bug: repeated
+        // refactorizations at the *same* shift through one workspace must
+        // produce identical factors — same nnz (no symbolic drift, no
+        // workspace-state leakage) and bitwise-equal solves.
+        let n = 50;
+        let g = filled_matrix(n, 4, 0xfeedbeef);
+        let c = CscMatrix::from_triplets(n, n, &(0..n).map(|i| (i, i, 2e-3)).collect::<Vec<_>>())
+            .unwrap();
+        let pencil = ShiftedPencil::new(&g, &c).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut ws = LuWorkspace::<f64>::new();
+        let first = pencil.factor_real_with(7.5, &mut ws).unwrap();
+        let (nnz0, x0) = (first.factor_nnz(), first.solve(&b).unwrap());
+        // Interleave a different shift to dirty the workspace in between.
+        for &s in &[7.5, 0.0, 7.5, 123.0, 7.5] {
+            let lu = pencil.factor_real_with(s, &mut ws).unwrap();
+            if s == 7.5 {
+                assert_eq!(
+                    lu.factor_nnz(),
+                    nnz0,
+                    "factor nnz grew between identical shifts"
+                );
+                assert_eq!(lu.solve(&b).unwrap(), x0, "refactorization drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_survives_singular_failure() {
+        // A singular factorization must not poison the workspace for the
+        // next (regular) factorization.
+        let sing =
+            CscMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 0, 2.0), (2, 0, 1.0), (1, 1, 1.0)])
+                .unwrap();
+        let good = test_matrix(3);
+        let q = [0, 1, 2];
+        let mut ws = LuWorkspace::<f64>::new();
+        assert!(matches!(
+            SparseLu::factor_with(&sing, &q, NumericKernel::Supernodal, &mut ws),
+            Err(LinalgError::Singular { .. })
+        ));
+        let lu = SparseLu::factor_with(&good, &q, NumericKernel::Supernodal, &mut ws).unwrap();
+        let x = lu.solve(&[1.0, 0.0, 0.0]).unwrap();
+        let r = good.matvec(&x).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12 && r[1].abs() < 1e-12 && r[2].abs() < 1e-12);
     }
 }

@@ -10,9 +10,14 @@ use std::fmt::Debug;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A field scalar the sparse kernels can factor with.
+///
+/// The `Default` bound (additive identity) is what lets the scalar satisfy
+/// [`bdsm_linalg::GemmScalar`], so the supernodal kernel can hand packed
+/// panels straight to the blocked dense micro-kernels.
 pub trait Scalar:
     Copy
     + Debug
+    + Default
     + PartialEq
     + Add<Output = Self>
     + Sub<Output = Self>

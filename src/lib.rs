@@ -6,8 +6,8 @@
 //! |------------|----------------|--------------|
 //! | *build*    | [`circuit`]    | [`circuit::Network`], [`circuit::mna::assemble`] |
 //! | *partition*| [`circuit`]    | [`circuit::partition::partition_network`] |
-//! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`], [`sparse::ShiftedPencil`] |
-//! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`] |
+//! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`] (scalar/supernodal [`sparse::NumericKernel`]), [`sparse::ShiftedPencil`] |
+//! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`], [`core::reduce::reduce_network_timed`] (parallel engine: [`core::par`]) |
 //! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`] |
 //! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
 //! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
@@ -64,11 +64,16 @@ pub use bdsm_sparse as sparse;
 pub mod prelude {
     pub use bdsm_circuit::{mna::assemble, partition::partition_network, Network, GROUND};
     pub use bdsm_core::krylov::KrylovOpts;
-    pub use bdsm_core::reduce::{reduce_network, ReducedModel, ReductionOpts, SolverBackend};
+    pub use bdsm_core::reduce::{
+        reduce_network, reduce_network_timed, ReducedModel, ReductionOpts, SolverBackend,
+        StageTimings,
+    };
     pub use bdsm_core::transfer::{
         eval_transfer, transfer_rel_err, SparseTransferEvaluator, TransferEvaluator,
     };
     pub use bdsm_linalg::{Complex64, Matrix};
     pub use bdsm_sim::TransientSolver;
-    pub use bdsm_sparse::{CscMatrix, FillOrdering, ShiftedPencil, SparseLu};
+    pub use bdsm_sparse::{
+        CscMatrix, FillOrdering, LuWorkspace, NumericKernel, ShiftedPencil, SparseLu,
+    };
 }
