@@ -34,6 +34,67 @@ const STAGES: [(&str, &str); 8] = [
     ("t_reduce_us", "reduce (end-to-end)"),
 ];
 
+/// Gates the adaptive-selection record when both artifacts carry one:
+/// the greedy engine's end-to-end time is held to the same regression
+/// factor as the fixed reduce. Returns `false` on a regression.
+fn gate_adaptive(current: &Json, baseline: &Json, factor: f64) -> bool {
+    let (cur, base) = match (current.get("adaptive"), baseline.get("adaptive")) {
+        (Some(c), Some(b)) if *c != Json::Null && *b != Json::Null => (c, b),
+        _ => {
+            println!("\n(adaptive record missing from one artifact; not gated)");
+            return true;
+        }
+    };
+    println!(
+        "\n### Adaptive shift selection (n = {})\n",
+        cur.num("n").unwrap_or(f64::NAN)
+    );
+    println!("| metric | baseline | current |");
+    println!("|---|---:|---:|");
+    // Residuals live at 1e-7 scale, times at 1e5 — pick the notation that
+    // keeps both readable.
+    let fmt = |v: f64| {
+        if v != 0.0 && v.abs() < 1e-2 {
+            format!("{v:.3e}")
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    for (key, label) in [
+        ("t_adaptive_reduce_us", "adaptive reduce (µs)"),
+        ("t_fixed_reduce_us", "fixed reduce (µs)"),
+        ("rounds", "greedy rounds"),
+        ("worst_residual", "final residual"),
+        ("reduced_dim", "reduced dim"),
+    ] {
+        println!(
+            "| {label} | {} | {} |",
+            base.num(key).map_or("n/a".into(), fmt),
+            cur.num(key).map_or("n/a".into(), fmt),
+        );
+    }
+    match (
+        base.num("t_adaptive_reduce_us"),
+        cur.num("t_adaptive_reduce_us"),
+    ) {
+        (Some(b), Some(c)) if b > 0.0 => {
+            let ratio = c / b;
+            println!(
+                "\nadaptive reduce: {c:.1} µs vs baseline {b:.1} µs \
+                 ({ratio:.2}x, allowed ≤ {factor:.2}x)"
+            );
+            if ratio > factor {
+                println!(
+                    "\n**GATE FAILED**: adaptive reduce regressed {ratio:.2}x (> {factor:.2}x)"
+                );
+                return false;
+            }
+            true
+        }
+        _ => true,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let current_path = args.first().map_or(DEFAULT_CURRENT, String::as_str);
@@ -97,6 +158,9 @@ fn main() -> ExitCode {
     }
     if ratio > factor {
         println!("\n**GATE FAILED**: reduce time regressed {ratio:.2}x (> {factor:.2}x)");
+        return ExitCode::FAILURE;
+    }
+    if !gate_adaptive(&current, &baseline, factor) {
         return ExitCode::FAILURE;
     }
     println!("\ngate passed");

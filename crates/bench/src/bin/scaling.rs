@@ -31,8 +31,11 @@
 
 use bdsm_bench::time_with_warmup;
 use bdsm_circuit::mna;
+use bdsm_core::engine::{AdaptiveShiftOpts, ShiftStrategy};
 use bdsm_core::krylov::KrylovOpts;
-use bdsm_core::reduce::{reduce_network_timed, ReductionOpts, SolverBackend, StageTimings};
+use bdsm_core::reduce::{
+    reduce_network_timed, reduce_network_with_report, ReductionOpts, SolverBackend, StageTimings,
+};
 use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
 use bdsm_core::transfer::{eval_transfer, SparseTransferEvaluator, ZLu};
 use bdsm_core::{par, ReducedModel};
@@ -75,6 +78,21 @@ struct TransientRow {
     max_rel_output_err: f64,
 }
 
+struct AdaptiveRow {
+    n: usize,
+    t_adaptive_us: f64,
+    t_fixed_us: f64,
+    rounds: usize,
+    shifts: Vec<f64>,
+    residual_trajectory: Vec<f64>,
+    worst_residual: f64,
+    certified: bool,
+    reduced_dim: usize,
+    reduced_dim_fixed: usize,
+    basis_cols: usize,
+    basis_cols_fixed: usize,
+}
+
 /// Runs `f` with the fan-out pinned to one worker, restoring the previous
 /// `BDSM_THREADS` afterwards — the serial baseline the parallel engine is
 /// compared against.
@@ -104,6 +122,7 @@ fn reduction_opts(n: usize) -> ReductionOpts {
         rank_tol: 1e-12,
         max_reduced_dim: Some((n / 5).max(8)),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     }
 }
 
@@ -261,10 +280,79 @@ fn main() {
     }
 
     let transient = sizes.contains(&10_000).then(transient_scenario);
+    let adaptive = sizes.contains(&10_000).then(adaptive_scenario);
 
-    let json = render_json(threads, &rows, transient.as_ref());
+    let json = render_json(threads, &rows, transient.as_ref(), adaptive.as_ref());
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
     println!("wrote BENCH_scaling.json ({} sizes)", rows.len());
+}
+
+/// Adaptive-vs-fixed shift selection at n = 10⁴: the greedy engine must
+/// buy its automation cheaply, so the record tracks the shifts it chose,
+/// the residual trajectory, and the wall-time against the 8-point fixed
+/// configuration — and `bench_gate` gates the adaptive reduce time like
+/// the fixed one.
+fn adaptive_scenario() -> AdaptiveRow {
+    const N: usize = 10_000;
+    println!("--- adaptive: n = {N} ladder, greedy shifts vs fixed 8-point set ---");
+    let net = rc_ladder_loaded(N, 1.0, 1e-3, 5.0, 5);
+    let fixed_opts = reduction_opts(N);
+    let mut adaptive_opts = reduction_opts(N);
+    adaptive_opts.krylov.jomega_points = vec![OMEGA_MID];
+    adaptive_opts.shift_strategy = ShiftStrategy::Adaptive(AdaptiveShiftOpts {
+        candidate_omegas: SWEEP_FREQS.to_vec(),
+        tol: 1e-6,
+        max_shifts: 8,
+    });
+
+    // Warm both paths once, then measure — the adaptive path has its own
+    // cold-start surfaces (candidate-sweep evaluator, per-round ROM
+    // sweeps) that must not inflate the gated metric.
+    std::hint::black_box(reduce_network_with_report(&net, &fixed_opts).expect("warmup fixed"));
+    std::hint::black_box(
+        reduce_network_with_report(&net, &adaptive_opts).expect("warmup adaptive"),
+    );
+    let t0 = Instant::now();
+    let (rm_fixed, rep_fixed) =
+        reduce_network_with_report(&net, &fixed_opts).expect("fixed reduction");
+    let t_fixed_us = t0.elapsed().as_secs_f64() * 1e6;
+    let t0 = Instant::now();
+    let (rm, rep) = reduce_network_with_report(&net, &adaptive_opts).expect("adaptive reduction");
+    let t_adaptive_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    let shifts: Vec<f64> = rep
+        .shifts
+        .iter()
+        .map(|p| match *p {
+            bdsm_core::ExpansionPoint::Real(s) => s,
+            bdsm_core::ExpansionPoint::Jomega(w) => w,
+        })
+        .collect();
+    let residual_trajectory: Vec<f64> = rep.rounds.iter().map(|r| r.worst_residual).collect();
+    let worst_residual = residual_trajectory.last().copied().unwrap_or(f64::NAN);
+    println!(
+        "  adaptive {:.1} ms ({} rounds, {} shifts, residual {:.2e}) vs fixed {:.1} ms ({} shifts)",
+        t_adaptive_us / 1e3,
+        rep.rounds.len(),
+        shifts.len(),
+        worst_residual,
+        t_fixed_us / 1e3,
+        rep_fixed.shifts.len(),
+    );
+    AdaptiveRow {
+        n: N,
+        t_adaptive_us,
+        t_fixed_us,
+        rounds: rep.rounds.len(),
+        shifts,
+        residual_trajectory,
+        worst_residual,
+        certified: rep.certified,
+        reduced_dim: rm.reduced_dim(),
+        reduced_dim_fixed: rm_fixed.reduced_dim(),
+        basis_cols: rep.basis_cols,
+        basis_cols_fixed: rep_fixed.basis_cols,
+    }
 }
 
 /// Transient at scale: full vs reduced backward-Euler step response on a
@@ -284,6 +372,7 @@ fn transient_scenario() -> TransientRow {
         rank_tol: 1e-12,
         max_reduced_dim: Some(2000),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     };
     let (rm, _) = reduce_network_timed(&net, &opts).expect("grid reduction");
     let (t_full_us, y_full) = run_transient(TransientSolver::for_full(&rm, TRANSIENT_H), &rm);
@@ -331,9 +420,19 @@ fn run_transient(
     (t0.elapsed().as_secs_f64() * 1e6, ys)
 }
 
+fn render_f64_array(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| format!("{v:.6e}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
 /// Hand-rolled JSON (the dependency set has no serde): one record per size
-/// plus the optional transient record.
-fn render_json(threads: usize, rows: &[Row], transient: Option<&TransientRow>) -> String {
+/// plus the optional transient and adaptive records.
+fn render_json(
+    threads: usize,
+    rows: &[Row],
+    transient: Option<&TransientRow>,
+    adaptive: Option<&AdaptiveRow>,
+) -> String {
     let mut out = format!(
         "{{\n  \"bench\": \"scaling\",\n  \"topology\": \"rc_ladder_loaded\",\n  \"omega\": {OMEGA_MID:.1},\n  \"threads\": {threads},\n  \"results\": [\n"
     );
@@ -391,7 +490,7 @@ fn render_json(threads: usize, rows: &[Row], transient: Option<&TransientRow>) -
             "  \"transient\": {{\"topology\": \"rc_grid\", \"n\": {}, \"steps\": {}, \
              \"h\": {:e}, \"reduced_dim\": {}, \"t_full_transient_us\": {:.1}, \
              \"t_rom_transient_us\": {:.1}, \"transient_speedup\": {:.2}, \
-             \"max_rel_output_err\": {:.3e}}}",
+             \"max_rel_output_err\": {:.3e}}},",
             t.n,
             TRANSIENT_STEPS,
             TRANSIENT_H,
@@ -402,7 +501,33 @@ fn render_json(threads: usize, rows: &[Row], transient: Option<&TransientRow>) -
             t.max_rel_output_err,
         )
         .expect("string write"),
-        None => out.push_str("  \"transient\": null\n"),
+        None => out.push_str("  \"transient\": null,\n"),
+    }
+    match adaptive {
+        Some(a) => writeln!(
+            out,
+            "  \"adaptive\": {{\"topology\": \"rc_ladder_loaded\", \"n\": {}, \
+             \"t_adaptive_reduce_us\": {:.1}, \"t_fixed_reduce_us\": {:.1}, \
+             \"adaptive_overhead\": {:.2}, \"rounds\": {}, \"certified\": {}, \
+             \"worst_residual\": {:.3e}, \"shifts_chosen\": {}, \
+             \"residual_trajectory\": {}, \"reduced_dim\": {}, \
+             \"reduced_dim_fixed\": {}, \"basis_cols\": {}, \"basis_cols_fixed\": {}}}",
+            a.n,
+            a.t_adaptive_us,
+            a.t_fixed_us,
+            a.t_adaptive_us / a.t_fixed_us,
+            a.rounds,
+            a.certified,
+            a.worst_residual,
+            render_f64_array(&a.shifts),
+            render_f64_array(&a.residual_trajectory),
+            a.reduced_dim,
+            a.reduced_dim_fixed,
+            a.basis_cols,
+            a.basis_cols_fixed,
+        )
+        .expect("string write"),
+        None => out.push_str("  \"adaptive\": null\n"),
     }
     out.push_str("}\n");
     out

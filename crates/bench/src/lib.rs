@@ -140,6 +140,7 @@ mod tests {
             rank_tol: 1e-12,
             max_reduced_dim: None,
             backend: SolverBackend::Sparse,
+            ..ReductionOpts::default()
         };
         let rm = reduce_network(&net, &opts).unwrap();
         let full = rm.full.to_dense();

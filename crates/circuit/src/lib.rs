@@ -37,5 +37,5 @@ pub mod sparse;
 
 pub use mna::{Descriptor, StateKind};
 pub use network::{CircuitError, Element, ElementKind, Network, Result, GROUND};
-pub use partition::{grouped_state_order, partition_network, Partition};
+pub use partition::{grouped_state_order, interface_state_indices, partition_network, Partition};
 pub use sparse::CooMatrix;

@@ -167,6 +167,38 @@ pub fn grouped_state_order(
     (new_of_old, block_sizes)
 }
 
+/// Interface **states** of the block-grouped descriptor: the node-voltage
+/// states of interface buses (buses with a neighbour in another block),
+/// expressed as indices into the *permuted* state order and sorted
+/// ascending.
+///
+/// This is the index set the paper's exact boundary treatment preserves:
+/// the projector can pin these rows to unit vectors so interface voltages
+/// survive the reduction verbatim. Inductor and voltage-source current
+/// states never qualify — the boundary quantities of the scheme are bus
+/// voltages, and branch currents always follow their anchor bus's block.
+pub fn interface_state_indices(
+    desc: &Descriptor,
+    part: &Partition,
+    new_of_old: &[usize],
+) -> Vec<usize> {
+    let mut is_interface = vec![false; part.block_of_node.len()];
+    for &bus in &part.interface {
+        is_interface[bus] = true;
+    }
+    let mut states: Vec<usize> = desc
+        .states
+        .iter()
+        .enumerate()
+        .filter_map(|(old, s)| match *s {
+            StateKind::NodeVoltage(bus) if is_interface[bus] => Some(new_of_old[old]),
+            _ => None,
+        })
+        .collect();
+    states.sort_unstable();
+    states
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +272,37 @@ mod tests {
         assert!(partition_network(&net, 0).is_err());
         assert!(partition_network(&net, 4).is_err());
         assert!(partition_network(&Network::new(), 1).is_err());
+    }
+
+    #[test]
+    fn interface_states_are_voltage_states_of_interface_buses() {
+        let mut net = chain(12);
+        // An inductor whose current state anchors at an interface bus must
+        // still be excluded: only node voltages are boundary quantities.
+        net.add_inductor(3, 4, 1e-3).unwrap();
+        net.add_port(0).unwrap();
+        let d = assemble(&net).unwrap();
+        let p = partition_network(&net, 3).unwrap();
+        assert_eq!(p.interface, vec![3, 4, 7, 8]);
+        let (new_of_old, sizes) = grouped_state_order(&net, &d, &p);
+        let states = interface_state_indices(&d, &p, &new_of_old);
+        assert_eq!(states.len(), 4);
+        // Every returned index is the permuted position of one interface
+        // bus's voltage state, and the list is sorted.
+        for w in states.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for (old, s) in d.states.iter().enumerate() {
+            if let StateKind::NodeVoltage(bus) = *s {
+                let expect = p.interface.contains(&bus);
+                assert_eq!(states.contains(&new_of_old[old]), expect, "bus {bus}");
+            } else {
+                assert!(!states.contains(&new_of_old[old]), "current state leaked");
+            }
+        }
+        // All interface states fall inside valid block ranges.
+        let n: usize = sizes.iter().sum();
+        assert!(states.iter().all(|&s| s < n));
     }
 
     #[test]

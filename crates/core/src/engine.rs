@@ -1,0 +1,644 @@
+//! The staged reduction engine: an explicit `Plan → Basis → Project →
+//! Certify` pipeline behind [`crate::reduce::reduce_network`].
+//!
+//! Each stage is a public method on [`ReductionEngine`], so callers can
+//! run the monolithic pipeline ([`ReductionEngine::run`]) or drive the
+//! stages individually — rebuild a basis with different shifts over the
+//! same [`Plan`], certify an existing ROM on a fresh frequency grid, and
+//! so on. Two strategy axes select the interesting behaviour:
+//!
+//! - [`ShiftStrategy`] decides **where the Krylov expansion points sit**.
+//!   [`ShiftStrategy::Fixed`] uses the hand-picked points of
+//!   [`KrylovOpts`](crate::krylov::KrylovOpts) exactly as the historical pipeline did (and
+//!   reproduces it bitwise). [`ShiftStrategy::Adaptive`] starts from the
+//!   coarse [`KrylovOpts`](crate::krylov::KrylovOpts) set and **greedily adds the worst-residual
+//!   candidate**: each round evaluates the sparse transfer residual
+//!   `‖H(jω) − Ĥ(jω)‖_F / ‖H‖_F` on a candidate grid (full-model samples
+//!   computed once through the parallel sparse sweep, ROM samples per
+//!   round) and promotes the frequency where the ROM is worst to a new
+//!   expansion point, until the tolerance or the shift budget is hit.
+//!   The pencil's symbolic analysis and the per-point candidate sets are
+//!   cached across rounds, so a greedy round costs one new shifted
+//!   factorization plus the merge/SVD/congruence of the grown basis.
+//! - [`InterfacePolicy`] (see [`crate::projector`]) decides how interface
+//!   buses are treated: folded into the block SVD bases, or preserved
+//!   **exactly** via identity columns so boundary voltages survive the
+//!   reduction verbatim.
+//!
+//! Every stage inherits the determinism contract of [`crate::par`]: the
+//! greedy selection is driven by bitwise-deterministic sweeps and
+//! first-wins arg-max, so adaptive reductions are identical for any
+//! `BDSM_THREADS`.
+
+use crate::krylov::{collect_points, merge_candidate_sets, merge_candidates, ExpansionPoint};
+use crate::projector::{BlockDiagProjector, InterfacePolicy};
+use crate::reduce::{
+    CoreError, DenseDescriptor, ReducedModel, ReductionOpts, Result, SolverBackend,
+    SparseDescriptor, StageTimings,
+};
+use crate::transfer::{transfer_rel_err, CMatrix, SparseTransferEvaluator, TransferEvaluator};
+use bdsm_circuit::{
+    grouped_state_order, interface_state_indices, mna, partition_network, CircuitError, Network,
+    Partition,
+};
+use bdsm_linalg::{LinalgError, Matrix};
+use bdsm_sparse::ShiftedPencil;
+use std::time::Instant;
+
+/// How the Basis stage chooses its Krylov expansion points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ShiftStrategy {
+    /// Use the [`KrylovOpts`](crate::krylov::KrylovOpts) points verbatim —
+    /// the historical behaviour and the default.
+    #[default]
+    Fixed,
+    /// Greedy residual-driven placement: start from the (coarse)
+    /// [`KrylovOpts`](crate::krylov::KrylovOpts) points and repeatedly add
+    /// the candidate frequency with the worst transfer residual.
+    Adaptive(AdaptiveShiftOpts),
+}
+
+/// Options of the greedy adaptive shift selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveShiftOpts {
+    /// Candidate angular frequencies: both the residual-evaluation grid
+    /// and the pool greedy selection promotes shifts from.
+    pub candidate_omegas: Vec<f64>,
+    /// Stop once the worst relative transfer residual on the candidate
+    /// grid drops to this tolerance.
+    pub tol: f64,
+    /// Hard budget on the total number of expansion points (initial coarse
+    /// set included) — the knob bounding selection cost.
+    pub max_shifts: usize,
+}
+
+impl AdaptiveShiftOpts {
+    /// `count` log-spaced angular frequencies in `[lo, hi]` — the usual
+    /// shape of a candidate grid spanning the band of interest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2` or the bounds are not positive and ordered
+    /// (candidate grids are caller-chosen test infrastructure).
+    pub fn log_grid(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+        assert!(count >= 2 && lo > 0.0 && hi > lo, "bad candidate grid");
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        (0..count)
+            .map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp())
+            .collect()
+    }
+}
+
+impl Default for AdaptiveShiftOpts {
+    fn default() -> Self {
+        AdaptiveShiftOpts {
+            candidate_omegas: Self::log_grid(1.0e1, 1.0e4, 10),
+            tol: 1e-6,
+            max_shifts: 6,
+        }
+    }
+}
+
+/// Output of the Plan stage: everything about the reduction that does not
+/// depend on the expansion points — the partition, the permuted sparse
+/// full model, the interface-state export, and the shared symbolic
+/// factorization of the shifted pencil.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The bus partition behind the block structure.
+    pub partition: Partition,
+    /// State permutation (`new_of_old`) into block-contiguous order.
+    pub state_order: Vec<usize>,
+    /// Per-block state counts after grouping.
+    pub block_sizes: Vec<usize>,
+    /// Interface states (permuted indices, sorted) exported by
+    /// `bdsm_circuit::partition` — the paper's boundary set.
+    pub interface_states: Vec<usize>,
+    /// The permuted full model, kept sparse.
+    pub full: SparseDescriptor,
+    /// Interface rows per block in local coordinates (empty lists under
+    /// [`InterfacePolicy::Folded`]).
+    interface_local: Vec<Vec<usize>>,
+    /// Shared symbolic analysis of `G + sC` (sparse backend).
+    pencil: Option<ShiftedPencil>,
+    /// Densified oracle model (dense backend).
+    dense: Option<DenseDescriptor>,
+}
+
+/// Output of the Project stage: the block-diagonal projector plus the
+/// congruence-reduced descriptor.
+#[derive(Debug, Clone)]
+pub struct Rom {
+    /// The block-diagonal projector that produced the reduction.
+    pub projector: BlockDiagProjector,
+    /// Reduced conductance `VᵀGV`.
+    pub g: Matrix,
+    /// Reduced storage `VᵀCV`.
+    pub c: Matrix,
+    /// Reduced input map `VᵀB`.
+    pub b: Matrix,
+    /// Reduced output map `LV`.
+    pub l: Matrix,
+}
+
+impl Rom {
+    /// Reduced state dimension `q`.
+    pub fn reduced_dim(&self) -> usize {
+        self.g.nrows()
+    }
+}
+
+/// Output of the Certify stage: per-frequency relative transfer residuals
+/// of a ROM against the sparse full model.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The evaluation grid (angular frequencies).
+    pub omegas: Vec<f64>,
+    /// `‖H(jω) − Ĥ(jω)‖_F / ‖H(jω)‖_F` per grid point.
+    pub residuals: Vec<f64>,
+    /// Largest residual on the grid.
+    pub worst: f64,
+    /// Frequency carrying the largest residual.
+    pub worst_omega: f64,
+}
+
+/// One greedy round of the adaptive loop, for the audit trail (and the
+/// scaling benchmark's adaptive record).
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Expansion points active during this round.
+    pub points: usize,
+    /// Global basis columns the round's merge produced.
+    pub basis_cols: usize,
+    /// Reduced dimension of the round's ROM.
+    pub reduced_dim: usize,
+    /// Worst candidate-grid residual of the round's ROM.
+    pub worst_residual: f64,
+    /// Frequency carrying the worst residual.
+    pub worst_omega: f64,
+    /// The shift the greedy step promoted afterwards (`None` on the final
+    /// round).
+    pub added_omega: Option<f64>,
+}
+
+/// What the engine did: the final shift set, the per-round residual
+/// trajectory, and whether the adaptive loop certified its tolerance.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Expansion points of the final basis, in merge order.
+    pub shifts: Vec<ExpansionPoint>,
+    /// Columns of the final global Krylov basis (total Krylov vectors).
+    pub basis_cols: usize,
+    /// Greedy rounds, in order (empty for [`ShiftStrategy::Fixed`]).
+    pub rounds: Vec<RoundRecord>,
+    /// `true` when the adaptive loop met its residual tolerance on the
+    /// candidate grid (always `false` for the uncertified fixed path).
+    pub certified: bool,
+}
+
+/// The staged reduction engine. Construct with [`ReductionEngine::new`],
+/// then either [`run`](Self::run) the whole pipeline or drive the stages
+/// ([`plan`](Self::plan), [`basis`](Self::basis),
+/// [`projector`](Self::projector) + [`congruence`](Self::congruence),
+/// [`certify`](Self::certify)) individually.
+#[derive(Debug, Clone)]
+pub struct ReductionEngine<'n> {
+    net: &'n Network,
+    opts: ReductionOpts,
+}
+
+impl<'n> ReductionEngine<'n> {
+    /// Builds an engine over a network, validating the options up front.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Circuit`] for a portless network,
+    /// [`CoreError::InvalidOptions`] for an inconsistent adaptive
+    /// configuration.
+    pub fn new(net: &'n Network, opts: &ReductionOpts) -> Result<Self> {
+        if net.num_inputs() == 0 || net.num_outputs() == 0 {
+            return Err(CircuitError::NoPorts.into());
+        }
+        if let ShiftStrategy::Adaptive(a) = &opts.shift_strategy {
+            if a.candidate_omegas.is_empty() {
+                return Err(CoreError::InvalidOptions(
+                    "adaptive: candidate frequency grid is empty",
+                ));
+            }
+            if !(a.tol > 0.0 && a.tol.is_finite()) {
+                return Err(CoreError::InvalidOptions(
+                    "adaptive: residual tolerance must be positive and finite",
+                ));
+            }
+            if a.max_shifts == 0 {
+                return Err(CoreError::InvalidOptions(
+                    "adaptive: shift budget must be at least 1",
+                ));
+            }
+        }
+        Ok(ReductionEngine {
+            net,
+            opts: opts.clone(),
+        })
+    }
+
+    /// The options the engine runs with.
+    pub fn opts(&self) -> &ReductionOpts {
+        &self.opts
+    }
+
+    /// **Plan** stage: MNA assembly, partitioning, block-contiguous
+    /// permutation, interface export, and the shared symbolic
+    /// factorization — everything independent of the expansion points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly/partitioning failures and rejects a reduced
+    /// dimension budget below the block count.
+    pub fn plan(&self) -> Result<Plan> {
+        self.plan_timed(&mut StageTimings::default())
+    }
+
+    fn plan_timed(&self, stages: &mut StageTimings) -> Result<Plan> {
+        let t0 = Instant::now();
+        let desc = mna::assemble(self.net)?;
+        let t1 = Instant::now();
+        let partition = partition_network(self.net, self.opts.num_blocks)?;
+        stages.partition_us = t1.elapsed().as_secs_f64() * 1e6;
+        let (new_of_old, block_sizes) = grouped_state_order(self.net, &desc, &partition);
+        let full = SparseDescriptor {
+            g: desc.g.permute_symmetric(&new_of_old).to_csc(),
+            c: desc.c.permute_symmetric(&new_of_old).to_csc(),
+            b: desc.b.permute_rows(&new_of_old).to_dense(),
+            l: desc.l.permute_cols(&new_of_old).to_dense(),
+        };
+        let interface_states = interface_state_indices(&desc, &partition, &new_of_old);
+
+        if let Some(total) = self.opts.max_reduced_dim {
+            // Every block keeps at least one state, so a budget below k is
+            // unsatisfiable; fail loudly instead of silently exceeding it.
+            if total < block_sizes.len() {
+                return Err(CoreError::InvalidOptions(
+                    "max_reduced_dim is smaller than the number of blocks",
+                ));
+            }
+        }
+        // Per-block local interface rows, only materialized when the exact
+        // policy will consume them.
+        let mut interface_local = vec![Vec::new(); block_sizes.len()];
+        if self.opts.interface_policy == InterfacePolicy::Exact {
+            let mut offsets = vec![0usize; block_sizes.len() + 1];
+            for (i, &sz) in block_sizes.iter().enumerate() {
+                offsets[i + 1] = offsets[i] + sz;
+            }
+            for &s in &interface_states {
+                let bi = offsets.partition_point(|&o| o <= s) - 1;
+                interface_local[bi].push(s - offsets[bi]);
+            }
+        }
+        // The dense oracle densifies exactly once, shared by the Krylov
+        // basis and the congruence products; the sparse path instead pays
+        // its one-off symbolic pencil analysis here, shared by every shift
+        // of every adaptive round.
+        let (pencil, dense) = match self.opts.backend {
+            SolverBackend::Sparse => (Some(ShiftedPencil::new(&full.g, &full.c)?), None),
+            SolverBackend::Dense => (None, Some(full.to_dense())),
+        };
+        stages.assemble_us = t0.elapsed().as_secs_f64() * 1e6 - stages.partition_us;
+        Ok(Plan {
+            partition,
+            state_order: new_of_old,
+            block_sizes,
+            interface_states,
+            full,
+            interface_local,
+            pencil,
+            dense,
+        })
+    }
+
+    /// **Basis** stage: the global moment-matching basis for an explicit
+    /// set of expansion points, through the plan's backend.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty point set / zero moments and propagates singular
+    /// shifted factorizations.
+    pub fn basis(&self, plan: &Plan, points: &[ExpansionPoint]) -> Result<Matrix> {
+        self.validate_points(points)?;
+        let raw = self.candidate_sets(plan, points);
+        Ok(merge_candidates(raw, self.opts.krylov.deflation_tol)?)
+    }
+
+    fn validate_points(&self, points: &[ExpansionPoint]) -> Result<()> {
+        if points.is_empty() || self.opts.krylov.moments_per_point == 0 {
+            return Err(CoreError::Linalg(LinalgError::InvalidArgument {
+                what: "krylov: need at least one expansion point and one moment",
+            }));
+        }
+        Ok(())
+    }
+
+    /// Per-point candidate sets through the plan's backend (the raw
+    /// material [`crate::krylov`] merges into a basis).
+    fn candidate_sets(
+        &self,
+        plan: &Plan,
+        points: &[ExpansionPoint],
+    ) -> Vec<bdsm_linalg::Result<Vec<Vec<f64>>>> {
+        match (&plan.pencil, &plan.dense) {
+            (Some(pencil), _) => crate::krylov::candidates_for_points_sparse(
+                pencil,
+                &plan.full.c,
+                &plan.full.b,
+                &self.opts.krylov,
+                points,
+            ),
+            (None, Some(dense)) => crate::krylov::candidates_for_points_dense(
+                &dense.g,
+                &dense.c,
+                &dense.b,
+                &self.opts.krylov,
+                points,
+            ),
+            (None, None) => unreachable!("plan always carries a backend"),
+        }
+    }
+
+    /// **Project** stage, first half: the block-diagonal projector for a
+    /// global basis, honouring the configured [`InterfacePolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures and interface-list validation errors.
+    pub fn projector(&self, plan: &Plan, global: &Matrix) -> Result<BlockDiagProjector> {
+        let max_block_dim = self
+            .opts
+            .max_reduced_dim
+            .map(|total| total / plan.block_sizes.len());
+        let proj = match self.opts.interface_policy {
+            InterfacePolicy::Folded => BlockDiagProjector::from_global_basis(
+                global,
+                &plan.block_sizes,
+                self.opts.rank_tol,
+                max_block_dim,
+            )?,
+            InterfacePolicy::Exact => BlockDiagProjector::from_global_basis_with_interface(
+                global,
+                &plan.block_sizes,
+                self.opts.rank_tol,
+                max_block_dim,
+                &plan.interface_local,
+            )?,
+        };
+        Ok(proj)
+    }
+
+    /// **Project** stage, second half: the congruence transforms
+    /// `VᵀGV`, `VᵀCV`, `VᵀB`, `LV` through the plan's backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the projector.
+    pub fn congruence(&self, plan: &Plan, projector: &BlockDiagProjector) -> Result<Rom> {
+        let (g_r, c_r) = match &plan.dense {
+            None => (
+                projector.project_square_sparse(&plan.full.g)?,
+                projector.project_square_sparse(&plan.full.c)?,
+            ),
+            Some(dense) => (
+                projector.project_square(&dense.g)?,
+                projector.project_square(&dense.c)?,
+            ),
+        };
+        let b_r = projector.project_input(&plan.full.b)?;
+        let l_r = projector.project_output(&plan.full.l)?;
+        Ok(Rom {
+            projector: projector.clone(),
+            g: g_r,
+            c: c_r,
+            b: b_r,
+            l: l_r,
+        })
+    }
+
+    /// **Certify** stage: relative transfer residuals of a ROM against the
+    /// sparse full model on a `jω` grid, both sides evaluated through the
+    /// existing parallel sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular evaluations (a grid point hitting a pole).
+    pub fn certify(&self, plan: &Plan, rom: &Rom, omegas: &[f64]) -> Result<Certificate> {
+        let full = self.full_sweep(plan, omegas)?;
+        self.certify_against(rom, omegas, &full)
+    }
+
+    /// Full-model reference sweep on a grid (one sparse complex
+    /// refactorization per frequency, fanned out over workers).
+    fn full_sweep(&self, plan: &Plan, omegas: &[f64]) -> Result<Vec<CMatrix>> {
+        let ev = SparseTransferEvaluator::new(
+            &plan.full.g,
+            &plan.full.c,
+            plan.full.b.clone(),
+            plan.full.l.clone(),
+        )?;
+        Ok(ev.eval_jomega_sweep(omegas)?)
+    }
+
+    /// Residuals of a ROM against precomputed full-model samples — the
+    /// cached shape the adaptive loop runs every round.
+    fn certify_against(&self, rom: &Rom, omegas: &[f64], full: &[CMatrix]) -> Result<Certificate> {
+        let rom_ev =
+            TransferEvaluator::new(rom.g.clone(), rom.c.clone(), rom.b.clone(), rom.l.clone())?;
+        let rom_sweep = rom_ev.eval_jomega_sweep(omegas)?;
+        let residuals: Vec<f64> = full
+            .iter()
+            .zip(&rom_sweep)
+            .map(|(hf, hr)| transfer_rel_err(hf, hr))
+            .collect();
+        let mut worst = 0.0_f64;
+        let mut worst_omega = omegas.first().copied().unwrap_or(0.0);
+        for (&r, &w) in residuals.iter().zip(omegas) {
+            if r > worst {
+                worst = r;
+                worst_omega = w;
+            }
+        }
+        Ok(Certificate {
+            omegas: omegas.to_vec(),
+            residuals,
+            worst,
+            worst_omega,
+        })
+    }
+
+    /// Runs the full staged pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Any stage failure; see the stage methods.
+    pub fn run(&self) -> Result<(ReducedModel, EngineReport)> {
+        self.run_timed().map(|(rm, report, _)| (rm, report))
+    }
+
+    /// [`run`](Self::run) with the per-stage wall-clock breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_timed(&self) -> Result<(ReducedModel, EngineReport, StageTimings)> {
+        let mut stages = StageTimings {
+            threads: crate::par::max_threads(),
+            ..StageTimings::default()
+        };
+        let plan = self.plan_timed(&mut stages)?;
+        let (rom, report) = match self.opts.shift_strategy.clone() {
+            ShiftStrategy::Fixed => self.run_fixed(&plan, &mut stages)?,
+            ShiftStrategy::Adaptive(a) => self.run_adaptive(&plan, &a, &mut stages)?,
+        };
+        stages.adaptive_rounds = report.rounds.len();
+        let rm = ReducedModel {
+            g: rom.g,
+            c: rom.c,
+            b: rom.b,
+            l: rom.l,
+            projector: rom.projector,
+            partition: plan.partition,
+            state_order: plan.state_order,
+            block_sizes: plan.block_sizes,
+            interface_states: plan.interface_states,
+            full: plan.full,
+            backend: self.opts.backend,
+        };
+        Ok((rm, report, stages))
+    }
+
+    /// One pass of Basis → Project with the fixed [`KrylovOpts`](crate::krylov::KrylovOpts) points —
+    /// the historical pipeline, stage by stage.
+    fn run_fixed(&self, plan: &Plan, stages: &mut StageTimings) -> Result<(Rom, EngineReport)> {
+        let points = collect_points(&self.opts.krylov);
+        let t = Instant::now();
+        let global = self.basis(plan, &points)?;
+        stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
+        let t = Instant::now();
+        let projector = self.projector(plan, &global)?;
+        stages.svd_us += t.elapsed().as_secs_f64() * 1e6;
+        let t = Instant::now();
+        let rom = self.congruence(plan, &projector)?;
+        stages.project_us += t.elapsed().as_secs_f64() * 1e6;
+        let report = EngineReport {
+            shifts: points,
+            basis_cols: global.ncols(),
+            rounds: Vec::new(),
+            certified: false,
+        };
+        Ok((rom, report))
+    }
+
+    /// The greedy adaptive loop: grow the shift set from the coarse
+    /// initial points, one worst-residual candidate at a time, re-using
+    /// the symbolic pencil and the per-point candidate cache across
+    /// rounds.
+    fn run_adaptive(
+        &self,
+        plan: &Plan,
+        a: &AdaptiveShiftOpts,
+        stages: &mut StageTimings,
+    ) -> Result<(Rom, EngineReport)> {
+        let mut points = collect_points(&self.opts.krylov);
+        if points.is_empty() {
+            // Coarse seed: the geometric middle of the candidate grid.
+            let mid = a.candidate_omegas[a.candidate_omegas.len() / 2];
+            points.push(ExpansionPoint::Jomega(mid));
+        }
+        self.validate_points(&points)?;
+
+        // Per-point candidate cache, in merge order (initial points, then
+        // greedy additions). A point's candidates are a pure function of
+        // that point, so they are computed exactly once.
+        let t = Instant::now();
+        let mut cache = collect_ok(self.candidate_sets(plan, &points))?;
+        stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
+
+        // The full model never changes across rounds: its candidate-grid
+        // sweep is computed once and re-used by every certification.
+        let t = Instant::now();
+        let full_sweep = self.full_sweep(plan, &a.candidate_omegas)?;
+        stages.certify_us += t.elapsed().as_secs_f64() * 1e6;
+
+        let mut rounds: Vec<RoundRecord> = Vec::new();
+        let mut certified = false;
+        let (rom, basis_cols) = loop {
+            let t = Instant::now();
+            let global = merge_candidate_sets(&cache, self.opts.krylov.deflation_tol)?;
+            stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
+            let t = Instant::now();
+            let projector = self.projector(plan, &global)?;
+            stages.svd_us += t.elapsed().as_secs_f64() * 1e6;
+            let t = Instant::now();
+            let rom = self.congruence(plan, &projector)?;
+            stages.project_us += t.elapsed().as_secs_f64() * 1e6;
+            let t = Instant::now();
+            let cert = self.certify_against(&rom, &a.candidate_omegas, &full_sweep)?;
+            stages.certify_us += t.elapsed().as_secs_f64() * 1e6;
+
+            rounds.push(RoundRecord {
+                points: points.len(),
+                basis_cols: global.ncols(),
+                reduced_dim: rom.reduced_dim(),
+                worst_residual: cert.worst,
+                worst_omega: cert.worst_omega,
+                added_omega: None,
+            });
+            if cert.worst <= a.tol {
+                certified = true;
+                break (rom, global.ncols());
+            }
+            if points.len() >= a.max_shifts {
+                break (rom, global.ncols());
+            }
+            // Greedy step: the worst-residual candidate not already an
+            // expansion point (first-wins tie-break keeps this — and hence
+            // the whole loop — deterministic for any worker count).
+            let mut pick: Option<(f64, f64)> = None;
+            for (&w, &r) in cert.omegas.iter().zip(&cert.residuals) {
+                let used = points
+                    .iter()
+                    .any(|p| matches!(*p, ExpansionPoint::Jomega(x) if x == w));
+                if used {
+                    continue;
+                }
+                if pick.is_none_or(|(_, pr)| r > pr) {
+                    pick = Some((w, r));
+                }
+            }
+            let Some((w_next, _)) = pick else {
+                break (rom, global.ncols()); // candidate pool exhausted
+            };
+            rounds.last_mut().expect("round pushed").added_omega = Some(w_next);
+            let pt = ExpansionPoint::Jomega(w_next);
+            let t = Instant::now();
+            cache.extend(collect_ok(self.candidate_sets(plan, &[pt]))?);
+            stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
+            points.push(pt);
+        };
+        let report = EngineReport {
+            shifts: points,
+            basis_cols,
+            rounds,
+            certified,
+        };
+        Ok((rom, report))
+    }
+}
+
+/// Collects per-point candidate results, surfacing the first failure (in
+/// point order, matching the fixed-path merge semantics).
+fn collect_ok(raw: Vec<bdsm_linalg::Result<Vec<Vec<f64>>>>) -> Result<Vec<Vec<Vec<f64>>>> {
+    let mut out = Vec::with_capacity(raw.len());
+    for r in raw {
+        out.push(r?);
+    }
+    Ok(out)
+}

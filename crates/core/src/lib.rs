@@ -5,21 +5,32 @@
 //! structured model reduction scheme for power grid networks — on top of the
 //! circuit layer (`bdsm-circuit`) and the dense kernels (`bdsm-linalg`):
 //!
+//! - [`engine`] is the staged pipeline (`Plan → Basis → Project →
+//!   Certify`) behind every reduction: each stage is a public method of
+//!   [`engine::ReductionEngine`], the expansion points are either fixed
+//!   or chosen by greedy residual-driven adaptation
+//!   ([`engine::ShiftStrategy`]), and interface buses can be preserved
+//!   exactly ([`projector::InterfacePolicy`]);
 //! - [`krylov`] builds a global moment-matching basis with block Arnoldi,
 //!   through either the sparse factorization subsystem (`bdsm-sparse`,
-//!   default) or the dense oracle kernels;
+//!   default, with blocked multi-RHS start blocks) or the dense oracle
+//!   kernels;
 //! - [`par`] is the threading substrate: scoped-thread fan-out over a
 //!   shared work queue (no external deps), used by the per-point Krylov
-//!   factorizations, the per-block SVDs, and the per-frequency sweeps —
-//!   all bitwise-deterministic for any worker count;
+//!   factorizations, the per-block SVDs, the block-pair congruence, and
+//!   the per-frequency sweeps — all bitwise-deterministic for any worker
+//!   count;
 //! - [`projector`] splits it into the structured projector
 //!   `V = diag(V₁,…,V_k)` (per-block SVD compression fanned out over
-//!   [`par`]) and applies congruence transforms, including a
-//!   sparse-input variant that never densifies the full model;
+//!   [`par`]; identity columns on interface states under the exact
+//!   policy) and applies congruence transforms, including a sparse-input
+//!   variant that never densifies the full model and fans out per block
+//!   pair;
 //! - [`reduce`] wires network → MNA → partition → basis → reduced model,
 //!   dispatching on [`reduce::SolverBackend`];
 //!   [`reduce::reduce_network_timed`] additionally reports per-stage wall
-//!   times for the benchmark artifact trail;
+//!   times, and [`reduce::reduce_network_with_report`] the adaptive
+//!   engine's audit trail;
 //! - [`transfer`] evaluates `H(s) = L(G + sC)⁻¹B` for full and reduced
 //!   models so they can be compared frequency by frequency — dense,
 //!   Hessenberg, and sparse ([`transfer::SparseTransferEvaluator`]) paths,
@@ -39,6 +50,7 @@
 //! # Ok::<(), bdsm_core::CoreError>(())
 //! ```
 
+pub mod engine;
 pub mod krylov;
 pub mod par;
 pub mod projector;
@@ -46,11 +58,17 @@ pub mod reduce;
 pub mod synth;
 pub mod transfer;
 
-pub use krylov::{global_krylov_basis, global_krylov_basis_sparse, KrylovOpts};
-pub use projector::BlockDiagProjector;
+pub use engine::{
+    AdaptiveShiftOpts, Certificate, EngineReport, Plan, ReductionEngine, Rom, RoundRecord,
+    ShiftStrategy,
+};
+pub use krylov::{
+    collect_points, global_krylov_basis, global_krylov_basis_sparse, ExpansionPoint, KrylovOpts,
+};
+pub use projector::{BlockDiagProjector, InterfacePolicy};
 pub use reduce::{
-    reduce_network, reduce_network_timed, CoreError, DenseDescriptor, ReducedModel, ReductionOpts,
-    SolverBackend, SparseDescriptor, StageTimings,
+    reduce_network, reduce_network_timed, reduce_network_with_report, CoreError, DenseDescriptor,
+    ReducedModel, ReductionOpts, SolverBackend, SparseDescriptor, StageTimings,
 };
 pub use transfer::{
     eval_transfer, transfer_rel_err, CMatrix, SparseTransferEvaluator, TransferEvaluator, ZLu,

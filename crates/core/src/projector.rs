@@ -11,12 +11,31 @@
 use bdsm_linalg::{LinalgError, Matrix, Result, Svd};
 use bdsm_sparse::{CscMatrix, Scalar};
 
+/// How interface (boundary) states are treated by the projector — the
+/// paper's exact boundary treatment versus the folded approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterfacePolicy {
+    /// Interface states are folded into the per-block SVD bases like any
+    /// other state. The historical behaviour, and the default.
+    #[default]
+    Folded,
+    /// Interface states are preserved **exactly**: each block basis is
+    /// augmented with identity columns on its interface rows (deduplicated
+    /// against the block's SVD directions), so interface-bus voltages are
+    /// reproduced verbatim by the reduced model — its state vector carries
+    /// them as plain coordinates.
+    Exact,
+}
+
 /// An orthonormal block-diagonal projection matrix.
 #[derive(Debug, Clone)]
 pub struct BlockDiagProjector {
     blocks: Vec<Matrix>,
     row_offsets: Vec<usize>,
     col_offsets: Vec<usize>,
+    /// `(full state row, reduced column)` pairs of exactly-preserved
+    /// interface states; empty under [`InterfacePolicy::Folded`].
+    interface: Vec<(usize, usize)>,
 }
 
 impl BlockDiagProjector {
@@ -40,6 +59,35 @@ impl BlockDiagProjector {
         rank_tol: f64,
         max_block_dim: Option<usize>,
     ) -> Result<Self> {
+        let none: Vec<Vec<usize>> = vec![Vec::new(); block_sizes.len()];
+        Self::from_global_basis_with_interface(global, block_sizes, rank_tol, max_block_dim, &none)
+    }
+
+    /// [`from_global_basis`](Self::from_global_basis) with the paper's
+    /// exact boundary treatment: `interface_local[i]` lists the local row
+    /// indices (sorted, unique) of block `i` that are interface states.
+    ///
+    /// Each listed row gets a dedicated identity column placed **ahead**
+    /// of the block's SVD directions, and the Krylov slice is exactly
+    /// orthogonalized against those unit columns (its interface rows are
+    /// zeroed) before compression — so the interface rows of the final
+    /// basis are exact unit vectors and the reduced state carries the
+    /// interface voltages verbatim. Krylov columns whose content was
+    /// (numerically) pure interface energy are deduplicated away instead
+    /// of polluting the SVD. `max_block_dim` caps only the appended SVD
+    /// directions; identity columns are mandatory and never truncated.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::InvalidArgument`] on inconsistent block sizes or
+    /// out-of-range/unsorted interface indices; SVD failures propagate.
+    pub fn from_global_basis_with_interface(
+        global: &Matrix,
+        block_sizes: &[usize],
+        rank_tol: f64,
+        max_block_dim: Option<usize>,
+        interface_local: &[Vec<usize>],
+    ) -> Result<Self> {
         if block_sizes.iter().sum::<usize>() != global.nrows() {
             return Err(LinalgError::InvalidArgument {
                 what: "projector: block sizes must sum to the state dimension",
@@ -50,6 +98,20 @@ impl BlockDiagProjector {
                 what: "projector: empty blocks are not allowed",
             });
         }
+        if interface_local.len() != block_sizes.len() {
+            return Err(LinalgError::InvalidArgument {
+                what: "projector: interface lists must match the block count",
+            });
+        }
+        for (size, iface) in block_sizes.iter().zip(interface_local) {
+            let in_range = iface.iter().all(|&li| li < *size);
+            let sorted_unique = iface.windows(2).all(|w| w[0] < w[1]);
+            if !in_range || !sorted_unique {
+                return Err(LinalgError::InvalidArgument {
+                    what: "projector: interface rows must be sorted, unique, in range",
+                });
+            }
+        }
         // Blocks are independent, so the per-block SVD compression fans out
         // over the shared work queue of `crate::par` — dynamic scheduling
         // absorbs whatever imbalance the rank structure introduces, and the
@@ -57,22 +119,53 @@ impl BlockDiagProjector {
         // for any worker count.
         let mut slices = Vec::with_capacity(block_sizes.len());
         let mut row0 = 0;
-        for &size in block_sizes {
-            slices.push(global.submatrix(row0, row0 + size, 0, global.ncols()));
+        for (bi, &size) in block_sizes.iter().enumerate() {
+            slices.push((
+                global.submatrix(row0, row0 + size, 0, global.ncols()),
+                &interface_local[bi],
+            ));
             row0 += size;
         }
-        let blocks = crate::par::parallel_map(&slices, |_, slice| {
-            compress_block_slice(slice, rank_tol, max_block_dim)
+        let blocks = crate::par::parallel_map(&slices, |_, (slice, iface)| {
+            compress_block_interface(slice, rank_tol, max_block_dim, iface)
         })
         .into_iter()
         .collect::<Result<Vec<Matrix>>>()?;
-        Ok(Self::from_blocks(blocks))
+        let mut proj = Self::from_blocks(blocks);
+        for (bi, iface) in interface_local.iter().enumerate() {
+            for (t, &li) in iface.iter().enumerate() {
+                proj.interface
+                    .push((proj.row_offsets[bi] + li, proj.col_offsets[bi] + t));
+            }
+        }
+        Ok(proj)
+    }
+
+    /// The `(full state row, reduced column)` pairs of exactly-preserved
+    /// interface states, in block order. Empty when the projector was
+    /// built with [`InterfacePolicy::Folded`] semantics.
+    pub fn interface_map(&self) -> &[(usize, usize)] {
+        &self.interface
     }
 
     /// Congruence transform `VᵀAV` of a *sparse* matrix, accumulating one
     /// rank-one block contribution per stored entry — `O(nnz · qᵢqⱼ)` work
     /// and no `n × q` intermediate, which is what keeps the projection step
     /// viable at `n ≫ 10⁴`.
+    ///
+    /// The work is partitioned into **block pairs** `(i, j)` — a fixed
+    /// decomposition independent of the worker count — that fan out over
+    /// [`crate::par`]: pair `(i, j)` owns exactly the entries of `A` in
+    /// block `i`'s row band and block `j`'s column band, and writes the
+    /// disjoint output block `(VᵢᵀAᵢⱼVⱼ)`. Within a pair, entries are
+    /// consumed in CSC order (columns ascending, rows ascending inside a
+    /// column) — the same accumulation order per output entry as a serial
+    /// sweep over the whole matrix — so the result is bitwise-identical
+    /// for **any** `BDSM_THREADS`, including the historical serial code.
+    /// Structural zeros of the basis rows (the interface identity columns
+    /// of [`InterfacePolicy::Exact`]) are skipped via per-row nonzero
+    /// lists, making the exact-interface congruence `O(nnz · kᵢkⱼ)` in the
+    /// per-row Krylov ranks instead of the inflated block dimensions.
     ///
     /// # Errors
     ///
@@ -86,34 +179,82 @@ impl BlockDiagProjector {
                 rhs: a.shape(),
             });
         }
-        // row → owning block, computable once from the row offsets.
-        let mut block_of_row = vec![0usize; n];
-        for bi in 0..self.num_blocks() {
-            block_of_row[self.row_offsets[bi]..self.row_offsets[bi + 1]].fill(bi);
+        let k = self.num_blocks();
+        // Per-block row → nonzero (column, value) lists. Skipping an exact
+        // zero drops only `±0.0` additions, which cannot change any
+        // accumulator bit (a finite accumulator is unchanged by adding
+        // ±0.0, and products with a zero factor contribute exactly ±0.0),
+        // so the row lists preserve bitwise equality with the dense scan.
+        let row_nz: Vec<Vec<Vec<(usize, f64)>>> = self
+            .blocks
+            .iter()
+            .map(|blk| {
+                (0..blk.nrows())
+                    .map(|li| {
+                        (0..blk.ncols())
+                            .filter_map(|aa| {
+                                let v = blk[(li, aa)];
+                                (v != 0.0).then_some((aa, v))
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Diagonal pairs first: they carry most of the entries on grid
+        // matrices, and fronting them keeps the shared work queue busy.
+        let mut pairs: Vec<(usize, usize)> = (0..k).map(|i| (i, i)).collect();
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    pairs.push((i, j));
+                }
+            }
         }
+        let partials = crate::par::parallel_map(&pairs, |_, &(bi, bj)| {
+            self.project_block_pair(a, bi, bj, &row_nz[bi], &row_nz[bj])
+        });
         let mut out = Matrix::zeros(self.ncols(), self.ncols());
-        for (r, c, v) in a.iter() {
-            if Scalar::is_zero(v) {
-                continue;
-            }
-            let (bi, bj) = (block_of_row[r], block_of_row[c]);
-            let vi = &self.blocks[bi];
-            let vj = &self.blocks[bj];
-            let li = r - self.row_offsets[bi];
-            let lj = c - self.row_offsets[bj];
-            let (oi, oj) = (self.col_offsets[bi], self.col_offsets[bj]);
-            // out[oi + a, oj + b] += Vi[li, a] · v · Vj[lj, b].
-            for aa in 0..vi.ncols() {
-                let w = vi[(li, aa)] * v;
-                if w == 0.0 {
-                    continue;
-                }
-                for bb in 0..vj.ncols() {
-                    out[(oi + aa, oj + bb)] += w * vj[(lj, bb)];
-                }
-            }
+        for (&(bi, bj), partial) in pairs.iter().zip(&partials) {
+            out.set_block(self.col_offsets[bi], self.col_offsets[bj], partial);
         }
         Ok(out)
+    }
+
+    /// One block pair's congruence contribution `VᵢᵀAᵢⱼVⱼ` (`qᵢ × qⱼ`),
+    /// scanning the CSC columns of block `j`'s band and binary-searching
+    /// each column's sorted rows for block `i`'s band.
+    fn project_block_pair(
+        &self,
+        a: &CscMatrix<f64>,
+        bi: usize,
+        bj: usize,
+        rows_i: &[Vec<(usize, f64)>],
+        rows_j: &[Vec<(usize, f64)>],
+    ) -> Matrix {
+        let (r0, r1) = (self.row_offsets[bi], self.row_offsets[bi + 1]);
+        let (c0, c1) = (self.row_offsets[bj], self.row_offsets[bj + 1]);
+        let mut out = Matrix::zeros(self.blocks[bi].ncols(), self.blocks[bj].ncols());
+        for c in c0..c1 {
+            let rows = a.col_rows(c);
+            let vals = a.col_values(c);
+            let lo = rows.partition_point(|&r| r < r0);
+            let hi = rows.partition_point(|&r| r < r1);
+            let lj = c - c0;
+            for (&r, &v) in rows[lo..hi].iter().zip(&vals[lo..hi]) {
+                if Scalar::is_zero(v) {
+                    continue;
+                }
+                // out[aa, bb] += Vi[li, aa] · v · Vj[lj, bb].
+                for &(aa, via) in &rows_i[r - r0] {
+                    let w = via * v;
+                    for &(bb, vjb) in &rows_j[lj] {
+                        out[(aa, bb)] += w * vjb;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Assembles a projector directly from per-block orthonormal bases.
@@ -128,6 +269,7 @@ impl BlockDiagProjector {
             blocks,
             row_offsets,
             col_offsets,
+            interface: Vec::new(),
         }
     }
 
@@ -258,6 +400,68 @@ impl BlockDiagProjector {
         }
         Ok(out)
     }
+}
+
+/// Compresses one block's slice under the exact interface policy: unit
+/// columns on the interface rows first, then the SVD directions of the
+/// slice with its interface rows zeroed (exact orthogonalization against
+/// the unit columns). Columns whose energy was (numerically) pure
+/// interface content are deduplicated away — the unit columns already
+/// span them. With no interface rows this is exactly
+/// [`compress_block_slice`].
+fn compress_block_interface(
+    slice: &Matrix,
+    rank_tol: f64,
+    max_block_dim: Option<usize>,
+    iface: &[usize],
+) -> Result<Matrix> {
+    if iface.is_empty() {
+        return compress_block_slice(slice, rank_tol, max_block_dim);
+    }
+    let size = slice.nrows();
+    // Zero the interface rows of every Krylov column; drop a column when
+    // that removes (numerically) all of it — its content lives in the
+    // identity columns already — and renormalize the survivors.
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for j in 0..slice.ncols() {
+        let mut col = slice.col(j);
+        let pre = bdsm_linalg::vector::norm2(&col);
+        for &li in iface {
+            col[li] = 0.0;
+        }
+        let post = bdsm_linalg::vector::norm2(&col);
+        if pre > 1e-150 && post > 1e-12 * pre {
+            bdsm_linalg::vector::scale(1.0 / post, &mut col);
+            cols.push(col);
+        }
+    }
+    // The budget cap applies to the appended SVD directions only: identity
+    // columns are the exactness contract and are never truncated.
+    let max_extra = max_block_dim.map(|cap| cap.saturating_sub(iface.len()));
+    let extra = if cols.is_empty() || max_extra == Some(0) {
+        None
+    } else {
+        let svd = Svd::compute(&Matrix::from_cols(&cols))?;
+        let sigma_max = svd.sigma.first().copied().unwrap_or(0.0);
+        let mut rank = svd
+            .sigma
+            .iter()
+            .filter(|&&s| s > rank_tol * sigma_max)
+            .count();
+        if let Some(cap) = max_extra {
+            rank = rank.min(cap);
+        }
+        (rank > 0).then(|| svd.u.submatrix(0, size, 0, rank))
+    };
+    let extra_cols = extra.as_ref().map_or(0, Matrix::ncols);
+    let mut out = Matrix::zeros(size, iface.len() + extra_cols);
+    for (t, &li) in iface.iter().enumerate() {
+        out[(li, t)] = 1.0;
+    }
+    if let Some(u) = extra {
+        out.set_block(0, iface.len(), &u);
+    }
+    Ok(out)
 }
 
 /// Compresses one block's row slice of the global basis into an
@@ -408,6 +612,178 @@ mod tests {
         assert_eq!(p.block_dims(), vec![1, 1]);
         assert_eq!(p.block(1)[(0, 0)], 1.0);
         assert!(p.orthonormality_error() < 1e-15);
+    }
+
+    #[test]
+    fn exact_interface_rows_are_unit_vectors() {
+        let vg = demo_basis();
+        let iface = vec![vec![1], vec![0, 2]];
+        let p =
+            BlockDiagProjector::from_global_basis_with_interface(&vg, &[3, 3], 1e-12, None, &iface)
+                .unwrap();
+        // Interface map points at exact unit rows.
+        let map = p.interface_map().to_vec();
+        assert_eq!(map.len(), 3);
+        let dense = p.to_dense();
+        for &(row, col) in &map {
+            for j in 0..dense.ncols() {
+                let expect = if j == col { 1.0 } else { 0.0 };
+                assert_eq!(dense[(row, j)], expect, "row {row} not a unit vector");
+            }
+        }
+        assert_eq!(map[0], (1, 0)); // block 0, local row 1 → first column
+        assert!(p.orthonormality_error() < 1e-12);
+        // The augmented span still contains every global basis column.
+        let v = p.to_dense();
+        for j in 0..vg.ncols() {
+            let col = vg.col(j);
+            let coeffs = v.tr_matvec(&col).unwrap();
+            let back = v.matvec(&coeffs).unwrap();
+            let resid: Vec<f64> = col.iter().zip(&back).map(|(a, b)| a - b).collect();
+            assert!(bdsm_linalg::vector::norm2(&resid) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interface_only_columns_are_deduplicated() {
+        // A basis column living purely on the interface row must not add
+        // an SVD direction beyond the identity column.
+        let mut vg = Matrix::zeros(4, 2);
+        vg[(1, 0)] = 1.0; // pure interface content
+        vg[(0, 1)] = 0.5;
+        vg[(3, 1)] = -0.5;
+        let p = BlockDiagProjector::from_global_basis_with_interface(
+            &vg,
+            &[4],
+            1e-12,
+            None,
+            &[vec![1]],
+        )
+        .unwrap();
+        // 1 identity column + 1 surviving Krylov direction.
+        assert_eq!(p.ncols(), 2);
+        assert!(p.orthonormality_error() < 1e-14);
+    }
+
+    #[test]
+    fn interface_budget_caps_only_extra_directions() {
+        let vg = demo_basis();
+        let p = BlockDiagProjector::from_global_basis_with_interface(
+            &vg,
+            &[6],
+            1e-12,
+            Some(2),
+            &[vec![0, 3, 5]],
+        )
+        .unwrap();
+        // Cap 2 < 3 identity columns: identities survive, no extras fit.
+        assert_eq!(p.ncols(), 3);
+        assert_eq!(p.interface_map().len(), 3);
+    }
+
+    #[test]
+    fn interface_validation_rejects_bad_lists() {
+        let vg = demo_basis();
+        let bad_len = vec![vec![0]];
+        assert!(BlockDiagProjector::from_global_basis_with_interface(
+            &vg,
+            &[3, 3],
+            1e-12,
+            None,
+            &bad_len
+        )
+        .is_err());
+        let out_of_range = vec![vec![5], vec![]];
+        assert!(BlockDiagProjector::from_global_basis_with_interface(
+            &vg,
+            &[3, 3],
+            1e-12,
+            None,
+            &out_of_range
+        )
+        .is_err());
+        let unsorted = vec![vec![2, 1], vec![]];
+        assert!(BlockDiagProjector::from_global_basis_with_interface(
+            &vg,
+            &[3, 3],
+            1e-12,
+            None,
+            &unsorted
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn interface_congruence_matches_dense_reference() {
+        let vg = demo_basis();
+        let p = BlockDiagProjector::from_global_basis_with_interface(
+            &vg,
+            &[2, 4],
+            1e-12,
+            None,
+            &[vec![1], vec![0, 3]],
+        )
+        .unwrap();
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            if i == j || (i + 2 * j) % 4 == 0 {
+                ((i * 5 + j) as f64 * 0.23).sin()
+            } else {
+                0.0
+            }
+        });
+        let sparse = CscMatrix::from_dense(&a, 0.0);
+        let dense_result = p.project_square(&a).unwrap();
+        let sparse_result = p.project_square_sparse(&sparse).unwrap();
+        assert!(sparse_result.sub(&dense_result).unwrap().norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn parallel_congruence_matches_serial_accumulation_bitwise() {
+        // The block-pair fan-out's contract: contributions to each output
+        // entry accumulate in exactly the order of a serial CSC sweep over
+        // the whole matrix, so the parallel result is byte-for-byte the
+        // serial one whatever the ambient worker count. Pin it against an
+        // inline reimplementation of that serial sweep (the historical
+        // code) rather than by mutating BDSM_THREADS, which would race
+        // sibling tests reading the environment from worker threads.
+        let vg = Matrix::from_fn(24, 4, |i, j| ((i * 3 + 2 * j) as f64 * 0.13).sin());
+        let p = BlockDiagProjector::from_global_basis(&vg, &[6, 6, 6, 6], 1e-12, None).unwrap();
+        let a = Matrix::from_fn(24, 24, |i, j| {
+            if i.abs_diff(j) <= 2 {
+                ((i * 7 + j) as f64 * 0.11).cos()
+            } else {
+                0.0
+            }
+        });
+        let sparse = CscMatrix::from_dense(&a, 0.0);
+        let parallel = p.project_square_sparse(&sparse).unwrap();
+
+        let mut block_of_row = vec![0usize; p.nrows()];
+        for bi in 0..p.num_blocks() {
+            block_of_row[p.row_offsets[bi]..p.row_offsets[bi + 1]].fill(bi);
+        }
+        let mut serial = Matrix::zeros(p.ncols(), p.ncols());
+        for (r, c, v) in sparse.iter() {
+            if v == 0.0 {
+                continue;
+            }
+            let (bi, bj) = (block_of_row[r], block_of_row[c]);
+            let (vi, vj) = (&p.blocks[bi], &p.blocks[bj]);
+            let (li, lj) = (r - p.row_offsets[bi], c - p.row_offsets[bj]);
+            let (oi, oj) = (p.col_offsets[bi], p.col_offsets[bj]);
+            for aa in 0..vi.ncols() {
+                let w = vi[(li, aa)] * v;
+                if w == 0.0 {
+                    continue;
+                }
+                for bb in 0..vj.ncols() {
+                    serial[(oi + aa, oj + bb)] += w * vj[(lj, bb)];
+                }
+            }
+        }
+        assert_eq!(parallel.as_slice(), serial.as_slice());
+        let dense_ref = p.project_square(&a).unwrap();
+        assert!(parallel.sub(&dense_ref).unwrap().norm_max() < 1e-13);
     }
 
     #[test]

@@ -1,23 +1,32 @@
-//! The BDSM pipeline: network → partition → block bases → reduced model.
+//! The BDSM pipeline entry points: network → partition → block bases →
+//! reduced model.
 //!
-//! [`reduce_network`] glues the layers together:
+//! [`reduce_network`] is a thin wrapper over the staged
+//! [`crate::engine::ReductionEngine`], which runs the explicit
+//! `Plan → Basis → Project → Certify` pipeline:
 //!
-//! 1. MNA assembly (`bdsm_circuit::mna`) into descriptor form `(G, C, B, L)`;
-//! 2. BFS partition into `k` connected blocks and a symmetric permutation
-//!    that groups descriptor states block-contiguously;
-//! 3. a global moment-matching Krylov basis ([`crate::krylov`]);
-//! 4. the block-diagonal projector `V = diag(V₁,…,V_k)`
-//!    ([`crate::projector`]) and the congruence transforms
-//!    `G_r = VᵀGV`, `C_r = VᵀCV`, `B_r = VᵀB`, `L_r = LV`.
+//! 1. **Plan** — MNA assembly (`bdsm_circuit::mna`), BFS partition into
+//!    `k` connected blocks, the block-contiguous state permutation, the
+//!    interface-state export, and the shared symbolic pencil analysis;
+//! 2. **Basis** — a global moment-matching Krylov basis
+//!    ([`crate::krylov`]), with expansion points either fixed or chosen
+//!    adaptively ([`ShiftStrategy`]);
+//! 3. **Project** — the block-diagonal projector `V = diag(V₁,…,V_k)`
+//!    ([`crate::projector`], folded or exact-interface per
+//!    [`InterfacePolicy`]) and the congruence transforms `G_r = VᵀGV`,
+//!    `C_r = VᵀCV`, `B_r = VᵀB`, `L_r = LV`;
+//! 4. **Certify** — transfer-residual evaluation on a `jω` grid, which is
+//!    also what drives the adaptive greedy shift selection.
 //!
 //! The shifted solves and congruence products run on a selectable
 //! [`SolverBackend`]: the sparse subsystem (`bdsm_sparse`) by default —
 //! the full model is never densified, which is what admits `n ≫ 10⁴`
 //! grids — or the original dense kernels as a verification oracle.
 
-use crate::krylov::{global_krylov_basis, global_krylov_basis_sparse, KrylovOpts};
-use crate::projector::BlockDiagProjector;
-use bdsm_circuit::{grouped_state_order, mna, partition_network, CircuitError, Network, Partition};
+use crate::engine::{EngineReport, ReductionEngine, ShiftStrategy};
+use crate::krylov::KrylovOpts;
+use crate::projector::{BlockDiagProjector, InterfacePolicy};
+use bdsm_circuit::{CircuitError, Network, Partition};
 use bdsm_linalg::{LinalgError, Matrix};
 use bdsm_sparse::CscMatrix;
 use std::fmt;
@@ -87,16 +96,26 @@ pub enum SolverBackend {
 pub struct ReductionOpts {
     /// Number of partition blocks `k`.
     pub num_blocks: usize,
-    /// Moment-matching options for the global basis.
+    /// Moment-matching options for the global basis. Under
+    /// [`ShiftStrategy::Adaptive`] these points form the initial coarse
+    /// shift set the greedy selection grows from.
     pub krylov: KrylovOpts,
     /// Relative singular-value threshold for per-block rank truncation.
     pub rank_tol: f64,
     /// Optional total reduced-dimension budget `q_max`; enforced by capping
     /// every block at `q_max / k` dominant directions. Must be at least the
-    /// number of blocks (each block keeps one state minimum).
+    /// number of blocks (each block keeps one state minimum). Under
+    /// [`InterfacePolicy::Exact`] the cap applies to the appended Krylov
+    /// directions only — interface columns are mandatory.
     pub max_reduced_dim: Option<usize>,
     /// Factorization backend for the full-model solves.
     pub backend: SolverBackend,
+    /// How expansion points are chosen — fixed (the default, reproducing
+    /// the historical pipeline bitwise) or adaptive greedy selection.
+    pub shift_strategy: ShiftStrategy,
+    /// How interface buses are treated by the projector — folded (the
+    /// default) or preserved exactly.
+    pub interface_policy: InterfacePolicy,
 }
 
 impl Default for ReductionOpts {
@@ -107,6 +126,8 @@ impl Default for ReductionOpts {
             rank_tol: 1e-12,
             max_reduced_dim: None,
             backend: SolverBackend::default(),
+            shift_strategy: ShiftStrategy::default(),
+            interface_policy: InterfacePolicy::default(),
         }
     }
 }
@@ -186,6 +207,9 @@ pub struct ReducedModel {
     pub state_order: Vec<usize>,
     /// Per-block state counts of the permuted full model.
     pub block_sizes: Vec<usize>,
+    /// Interface states of the permuted full model (sorted) — the boundary
+    /// set exported by the partitioner, regardless of policy.
+    pub interface_states: Vec<usize>,
     /// The permuted full model, kept sparse (for validation and
     /// comparison; densify via [`SparseDescriptor::to_dense`] when a dense
     /// oracle is wanted and `n` is small).
@@ -204,6 +228,14 @@ impl ReducedModel {
     pub fn reduced_dim(&self) -> usize {
         self.g.nrows()
     }
+
+    /// The `(full state row, reduced column)` pairs of exactly-preserved
+    /// interface states — non-empty only under [`InterfacePolicy::Exact`],
+    /// where the reduced state vector carries each listed boundary voltage
+    /// verbatim at the given coordinate.
+    pub fn interface_map(&self) -> &[(usize, usize)] {
+        self.projector.interface_map()
+    }
 }
 
 /// Wall-clock breakdown of one [`reduce_network_timed`] run, in
@@ -211,18 +243,27 @@ impl ReducedModel {
 /// benchmark's per-stage artifact trail.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
-    /// MNA assembly plus the block-contiguous state permutation.
+    /// MNA assembly, the block-contiguous state permutation, and the
+    /// plan's one-off backend setup (symbolic pencil analysis or oracle
+    /// densification).
     pub assemble_us: f64,
     /// BFS partitioning of the bus graph.
     pub partition_us: f64,
     /// Global Krylov basis: shifted factorizations + block recurrences
-    /// (fans out per expansion point).
+    /// (fans out per expansion point), plus the per-round merges of the
+    /// adaptive loop.
     pub krylov_us: f64,
     /// Projector construction: per-block SVD compression (fans out per
-    /// block).
+    /// block), summed over adaptive rounds.
     pub svd_us: f64,
-    /// The four congruence products `VᵀGV`, `VᵀCV`, `VᵀB`, `LV`.
+    /// The congruence products `VᵀGV`, `VᵀCV`, `VᵀB`, `LV` (block pairs
+    /// fan out per pair), summed over adaptive rounds.
     pub project_us: f64,
+    /// Transfer-residual certification: the one-off full-model candidate
+    /// sweep plus the per-round ROM sweeps. Zero for the fixed strategy.
+    pub certify_us: f64,
+    /// Greedy rounds the adaptive loop ran (zero for the fixed strategy).
+    pub adaptive_rounds: usize,
     /// Worker cap the fan-out stages ran under (`par::max_threads`).
     pub threads: usize,
 }
@@ -230,7 +271,12 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total across the instrumented stages.
     pub fn total_us(&self) -> f64 {
-        self.assemble_us + self.partition_us + self.krylov_us + self.svd_us + self.project_us
+        self.assemble_us
+            + self.partition_us
+            + self.krylov_us
+            + self.svd_us
+            + self.project_us
+            + self.certify_us
     }
 }
 
@@ -241,7 +287,9 @@ impl StageTimings {
 /// - [`CoreError::Circuit`] if the network is empty, has no ports, or the
 ///   partition request is invalid;
 /// - [`CoreError::Linalg`] if a factorization fails (e.g. a singular
-///   `G + s₀C` at an expansion point).
+///   `G + s₀C` at an expansion point);
+/// - [`CoreError::InvalidOptions`] for inconsistent budgets or adaptive
+///   configuration.
 pub fn reduce_network(net: &Network, opts: &ReductionOpts) -> Result<ReducedModel> {
     reduce_network_timed(net, opts).map(|(rm, _)| rm)
 }
@@ -255,85 +303,22 @@ pub fn reduce_network_timed(
     net: &Network,
     opts: &ReductionOpts,
 ) -> Result<(ReducedModel, StageTimings)> {
-    let mut stages = StageTimings {
-        threads: crate::par::max_threads(),
-        ..StageTimings::default()
-    };
-    if net.num_inputs() == 0 || net.num_outputs() == 0 {
-        return Err(CircuitError::NoPorts.into());
-    }
-    let t0 = std::time::Instant::now();
-    let desc = mna::assemble(net)?;
-    let t1 = std::time::Instant::now();
-    let partition = partition_network(net, opts.num_blocks)?;
-    stages.partition_us = t1.elapsed().as_secs_f64() * 1e6;
-    let (new_of_old, block_sizes) = grouped_state_order(net, &desc, &partition);
+    let (rm, _report, stages) = ReductionEngine::new(net, opts)?.run_timed()?;
+    Ok((rm, stages))
+}
 
-    let full = SparseDescriptor {
-        g: desc.g.permute_symmetric(&new_of_old).to_csc(),
-        c: desc.c.permute_symmetric(&new_of_old).to_csc(),
-        b: desc.b.permute_rows(&new_of_old).to_dense(),
-        l: desc.l.permute_cols(&new_of_old).to_dense(),
-    };
-    stages.assemble_us = t0.elapsed().as_secs_f64() * 1e6 - stages.partition_us;
-
-    if let Some(total) = opts.max_reduced_dim {
-        // Every block keeps at least one state, so a budget below k is
-        // unsatisfiable; fail loudly instead of silently exceeding it.
-        if total < block_sizes.len() {
-            return Err(CoreError::InvalidOptions(
-                "max_reduced_dim is smaller than the number of blocks",
-            ));
-        }
-    }
-    // The dense oracle densifies exactly once, shared by the Krylov basis
-    // and the congruence products; the sparse path never materializes it.
-    let dense_oracle = match opts.backend {
-        SolverBackend::Sparse => None,
-        SolverBackend::Dense => Some(full.to_dense()),
-    };
-    let t2 = std::time::Instant::now();
-    let global = match &dense_oracle {
-        None => global_krylov_basis_sparse(&full.g, &full.c, &full.b, &opts.krylov)?,
-        Some(dense) => global_krylov_basis(&dense.g, &dense.c, &dense.b, &opts.krylov)?,
-    };
-    stages.krylov_us = t2.elapsed().as_secs_f64() * 1e6;
-    let t3 = std::time::Instant::now();
-    let max_block_dim = opts.max_reduced_dim.map(|total| total / block_sizes.len());
-    let projector =
-        BlockDiagProjector::from_global_basis(&global, &block_sizes, opts.rank_tol, max_block_dim)?;
-    stages.svd_us = t3.elapsed().as_secs_f64() * 1e6;
-
-    let t4 = std::time::Instant::now();
-    let (g_r, c_r) = match &dense_oracle {
-        None => (
-            projector.project_square_sparse(&full.g)?,
-            projector.project_square_sparse(&full.c)?,
-        ),
-        Some(dense) => (
-            projector.project_square(&dense.g)?,
-            projector.project_square(&dense.c)?,
-        ),
-    };
-    let b_r = projector.project_input(&full.b)?;
-    let l_r = projector.project_output(&full.l)?;
-    stages.project_us = t4.elapsed().as_secs_f64() * 1e6;
-
-    Ok((
-        ReducedModel {
-            g: g_r,
-            c: c_r,
-            b: b_r,
-            l: l_r,
-            projector,
-            partition,
-            state_order: new_of_old,
-            block_sizes,
-            full,
-            backend: opts.backend,
-        },
-        stages,
-    ))
+/// [`reduce_network`] with the engine's audit report attached: the final
+/// shift set, the per-round residual trajectory of the adaptive loop, and
+/// whether the residual tolerance was certified.
+///
+/// # Errors
+///
+/// Same as [`reduce_network`].
+pub fn reduce_network_with_report(
+    net: &Network,
+    opts: &ReductionOpts,
+) -> Result<(ReducedModel, EngineReport)> {
+    ReductionEngine::new(net, opts)?.run()
 }
 
 #[cfg(test)]
@@ -355,6 +340,7 @@ mod tests {
             rank_tol: 1e-12,
             max_reduced_dim: None,
             backend: SolverBackend::Sparse,
+            ..ReductionOpts::default()
         }
     }
 

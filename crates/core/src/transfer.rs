@@ -371,6 +371,9 @@ impl TransferEvaluator {
 pub struct SparseTransferEvaluator {
     pencil: ShiftedPencil,
     b: Matrix,
+    /// `B` pre-packed as a column-major panel: each frequency sample runs
+    /// one blocked multi-RHS triangular pass over all inputs at once.
+    b_panel: Vec<f64>,
     l: Matrix,
 }
 
@@ -389,7 +392,16 @@ impl SparseTransferEvaluator {
             });
         }
         let pencil = ShiftedPencil::new(g, c)?;
-        Ok(SparseTransferEvaluator { pencil, b, l })
+        let mut b_panel = Vec::with_capacity(n * b.ncols());
+        for j in 0..b.ncols() {
+            b_panel.extend_from_slice(&b.col(j));
+        }
+        Ok(SparseTransferEvaluator {
+            pencil,
+            b,
+            b_panel,
+            l,
+        })
     }
 
     /// State dimension `n`.
@@ -407,20 +419,28 @@ impl SparseTransferEvaluator {
     }
 
     /// Evaluates `H(s)` reusing a caller-owned factorization workspace —
-    /// the allocation-free shape of a frequency sweep.
+    /// the allocation-free shape of a frequency sweep. All `m` inputs go
+    /// through one blocked multi-RHS solve
+    /// ([`bdsm_sparse::SparseLu::solve_multi`]), which traverses the
+    /// factors once instead of once per port.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::Singular`] if `s` is a pole of the model.
     pub fn eval_with(&self, s: Complex64, ws: &mut LuWorkspace<Complex64>) -> Result<CMatrix> {
         let lu = self.pencil.factor_complex_with(s, ws)?;
-        let mut h = CMatrix::zeros(self.l.nrows(), self.b.ncols());
-        for j in 0..self.b.ncols() {
-            let x = lu.solve_real(&self.b.col(j))?;
+        let (n, m) = (self.dim(), self.b.ncols());
+        let mut h = CMatrix::zeros(self.l.nrows(), m);
+        if m == 0 {
+            return Ok(h);
+        }
+        let x = lu.solve_multi_real(&self.b_panel, m)?;
+        for j in 0..m {
+            let xj = &x[j * n..(j + 1) * n];
             for i in 0..self.l.nrows() {
                 let row = self.l.row(i);
                 let mut acc = Complex64::ZERO;
-                for (lv, xv) in row.iter().zip(&x) {
+                for (lv, xv) in row.iter().zip(xj) {
                     acc += *xv * *lv;
                 }
                 h[(i, j)] = acc;

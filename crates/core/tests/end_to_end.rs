@@ -100,6 +100,7 @@ fn rc_ladder_500_states_5_blocks() {
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     assert_eq!(rm.full_dim(), 500);
@@ -122,6 +123,7 @@ fn rc_grid_500_states_5_blocks() {
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     assert_eq!(rm.full_dim(), 500);
@@ -145,6 +147,7 @@ fn feeder_with_inductors_reduces_accurately() {
         rank_tol: 1e-12,
         max_reduced_dim: Some(97),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     assert!(rm.full_dim() >= 200);
@@ -166,6 +169,7 @@ fn reduction_ratio_is_substantial() {
         rank_tol: 1e-12,
         max_reduced_dim: None,
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     };
     let rm = reduce_network(&net, &opts).expect("reduction");
     // Block-diagonal reduced G/C keep block sparsity: entries coupling

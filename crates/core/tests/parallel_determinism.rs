@@ -9,6 +9,12 @@ use bdsm_core::reduce::{reduce_network, reduce_network_timed, ReductionOpts, Sol
 use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
 use bdsm_core::transfer::SparseTransferEvaluator;
 use bdsm_linalg::Complex64;
+use std::sync::Mutex;
+
+/// One test mutates `BDSM_THREADS`, which the fan-out workers of every
+/// other test read via `getenv`; concurrent `setenv`/`getenv` is a data
+/// race, so all tests in this binary serialize behind this lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn engine_opts() -> ReductionOpts {
     ReductionOpts {
@@ -22,6 +28,7 @@ fn engine_opts() -> ReductionOpts {
         rank_tol: 1e-12,
         max_reduced_dim: Some(48),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     }
 }
 
@@ -38,6 +45,7 @@ fn model_bytes(rm: &bdsm_core::ReducedModel) -> Vec<f64> {
 /// requires identical bytes. Restores the environment afterwards.
 #[test]
 fn reduced_model_is_bitwise_invariant_under_thread_count() {
+    let _guard = ENV_LOCK.lock().unwrap();
     let net = rc_ladder_loaded(400, 1.0, 1e-3, 5.0, 5);
     let opts = engine_opts();
     let prev = std::env::var("BDSM_THREADS").ok();
@@ -66,6 +74,7 @@ fn reduced_model_is_bitwise_invariant_under_thread_count() {
 /// evaluations exactly, sample for sample.
 #[test]
 fn parallel_sweep_matches_serial_evals_bitwise() {
+    let _guard = ENV_LOCK.lock().unwrap();
     let net = rc_grid(12, 14, 1.0, 1e-3, 2.0);
     let rm = reduce_network(&net, &engine_opts()).unwrap();
     let ev =
@@ -84,6 +93,7 @@ fn parallel_sweep_matches_serial_evals_bitwise() {
 /// and the reduced model identical to the untimed entry point's.
 #[test]
 fn timed_reduction_matches_untimed() {
+    let _guard = ENV_LOCK.lock().unwrap();
     let net = rc_ladder_loaded(200, 1.0, 1e-3, 5.0, 5);
     let opts = engine_opts();
     let rm_a = reduce_network(&net, &opts).unwrap();

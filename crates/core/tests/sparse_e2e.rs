@@ -39,6 +39,7 @@ fn sparse_backend_reduces_10k_state_grid() {
         rank_tol: 1e-12,
         max_reduced_dim: Some(2000),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     };
     let rm = reduce_network(&net, &opts).expect("10k-state sparse reduction");
     assert_eq!(rm.full_dim(), 10_000);
@@ -94,6 +95,7 @@ fn sparse_and_dense_backends_agree_at_500_states() {
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),
         backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
     };
     let rm_sparse = reduce_network(&net, &opts).expect("sparse reduction");
     opts.backend = SolverBackend::Dense;

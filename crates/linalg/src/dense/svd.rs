@@ -60,17 +60,31 @@ impl Svd {
                     let alpha = vector::dot(&w[p], &w[p]);
                     let beta = vector::dot(&w[q], &w[q]);
                     let gamma = vector::dot(&w[p], &w[q]);
-                    if alpha == 0.0 || beta == 0.0 {
+                    // A rank-deficient input (e.g. an interface-zeroed
+                    // projector slice) drives redundant columns denormal;
+                    // once `α·β` underflows the pair is numerically null —
+                    // treat it as orthogonal instead of letting `γ/denom`
+                    // turn into 0/0 and poison the convergence metric.
+                    let denom = (alpha * beta).sqrt();
+                    if !(denom > 0.0 && denom.is_finite()) {
                         continue;
                     }
-                    let denom = (alpha * beta).sqrt();
                     off = off.max(gamma.abs() / denom);
                     if gamma.abs() <= tol * denom {
                         continue;
                     }
-                    // Jacobi rotation zeroing the (p,q) correlation.
+                    // Jacobi rotation zeroing the (p,q) correlation. For
+                    // huge |ζ| (a null column against a dominant one —
+                    // routine for rank-deficient inputs) `ζ²` overflows to
+                    // ∞ and the textbook formula degenerates to t = 0, an
+                    // identity rotation that stalls the sweep; use the
+                    // asymptote t → 1/(2ζ) there instead.
                     let zeta = (beta - alpha) / (2.0 * gamma);
-                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let t = if zeta.abs() > 1.0e150 {
+                        0.5 / zeta
+                    } else {
+                        zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt())
+                    };
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
                     let (wp, wq) = split_two(&mut w, p, q);

@@ -288,6 +288,7 @@ mod tests {
             rank_tol: 1e-12,
             max_reduced_dim: None,
             backend: Default::default(),
+            ..ReductionOpts::default()
         };
         let rm = reduce_network(&net, &opts).unwrap();
         let h = 1e-4;
@@ -305,6 +306,54 @@ mod tests {
             worst = worst.max(bdsm_linalg::vector::norm2(&diff) / denom);
         }
         assert!(worst < 1e-4, "ROM transient diverged: {worst}");
+    }
+
+    #[test]
+    fn exact_interface_rom_exposes_boundary_voltages() {
+        // Under InterfacePolicy::Exact the ROM state vector carries the
+        // interface-bus voltages verbatim: during a transient, reading the
+        // mapped ROM coordinate must track the full model's interface
+        // state — no basis reconstruction required.
+        use bdsm_core::projector::InterfacePolicy;
+        let net = rc_ladder(60, 1.0, 1e-3, 2.0);
+        let opts = ReductionOpts {
+            num_blocks: 3,
+            krylov: KrylovOpts {
+                expansion_points: vec![1.0e2],
+                jomega_points: vec![],
+                moments_per_point: 4,
+                deflation_tol: 1e-12,
+            },
+            rank_tol: 1e-12,
+            max_reduced_dim: None,
+            backend: Default::default(),
+            interface_policy: InterfacePolicy::Exact,
+            ..ReductionOpts::default()
+        };
+        let rm = reduce_network(&net, &opts).unwrap();
+        let map = rm.interface_map().to_vec();
+        assert!(!map.is_empty());
+        let h = 1e-4;
+        let mut full = TransientSolver::for_full(&rm, h).unwrap();
+        let mut red = TransientSolver::for_reduced(&rm, h).unwrap();
+        let u = [1.0, 0.0];
+        let mut worst = 0.0_f64;
+        for _ in 0..300 {
+            full.step(&u).unwrap();
+            red.step(&u).unwrap();
+            let scale = full
+                .state()
+                .iter()
+                .fold(0.0_f64, |m, &v| m.max(v.abs()))
+                .max(1e-9);
+            for &(row, col) in &map {
+                worst = worst.max((red.state()[col] - full.state()[row]).abs() / scale);
+            }
+        }
+        // Interior buses are less tightly matched than the ports the
+        // moments target; 2e-3 relative still pins that the coordinate is
+        // the boundary voltage and not an arbitrary mixed state.
+        assert!(worst < 2e-3, "boundary trajectory diverged: {worst}");
     }
 
     #[test]

@@ -319,6 +319,110 @@ impl<T: Scalar> SparseLu<T> {
         let tb: Vec<T> = b.iter().map(|&v| T::from_real(v)).collect();
         self.solve(&tb)
     }
+
+    /// Solves `A X = B` for `m` right-hand sides at once, over column-major
+    /// `n × m` panels — the blocked shape of Krylov start blocks and
+    /// multi-port transfer samples.
+    ///
+    /// The panel is transposed into RHS-contiguous layout so both
+    /// triangular passes traverse the `L`/`U` index structure **once** for
+    /// all `m` systems, with the per-entry update running through the
+    /// [`bdsm_linalg::gemm_sub`] micro-kernel over the contiguous
+    /// RHS slice. Each system performs exactly the floating-point
+    /// operations of a standalone [`solve`](Self::solve) in the same
+    /// order, so `solve_multi` is bitwise-identical to `m` separate
+    /// solves (a property the reduction engine's determinism relies on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `rhs.len() != n·m` or
+    /// `m == 0`.
+    pub fn solve_multi(&self, rhs: &[T], m: usize) -> Result<Vec<T>> {
+        let n = self.n;
+        if m == 0 || rhs.len() != n * m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse-lu-solve-multi",
+                lhs: (n, m),
+                rhs: (rhs.len(), 1),
+            });
+        }
+        let pinv = &self.pinv;
+        // RHS-contiguous scratch: the m values of pivot step j live at
+        // y[j*m .. (j+1)*m], permuted into pivot order up front.
+        let mut y = vec![T::ZERO; n * m];
+        for j in 0..n {
+            let src = self.prow[j];
+            for k in 0..m {
+                y[j * m + k] = rhs[k * n + src];
+            }
+        }
+        // Forward: L is unit lower triangular in pivot order; every target
+        // row of column j is a strictly later pivot step, so the buffer
+        // splits cleanly at the active step.
+        for j in 0..n {
+            if self.l_cols[j].is_empty() {
+                continue;
+            }
+            let (head, tail) = y.split_at_mut((j + 1) * m);
+            let yj = &head[j * m..];
+            // A zero component must be skipped exactly like `solve` skips a
+            // zero scalar RHS, so the kernel path is reserved for fully
+            // nonzero slices (the overwhelmingly common case).
+            let all_nonzero = yj.iter().all(|v| !v.is_zero());
+            for &(r, lv) in &self.l_cols[j] {
+                let t = (pinv[r] - j - 1) * m;
+                let row = &mut tail[t..t + m];
+                if all_nonzero {
+                    gemm_sub(1, 1, m, &[lv], 1, yj, 1, row, 1);
+                } else {
+                    for (rk, &vk) in row.iter_mut().zip(yj) {
+                        if !vk.is_zero() {
+                            *rk -= lv * vk;
+                        }
+                    }
+                }
+            }
+        }
+        // Backward through U, undoing the column ordering at the end.
+        let mut out = vec![T::ZERO; n * m];
+        for j in (0..n).rev() {
+            let (head, tail) = y.split_at_mut(j * m);
+            let xj = &mut tail[..m];
+            let qj = self.q[j];
+            for (k, x) in xj.iter_mut().enumerate() {
+                *x = *x / self.u_diag[j];
+                out[k * n + qj] = *x;
+            }
+            if self.u_cols[j].is_empty() {
+                continue;
+            }
+            let all_nonzero = xj.iter().all(|v| !v.is_zero());
+            for &(kstep, uv) in &self.u_cols[j] {
+                let row = &mut head[kstep * m..kstep * m + m];
+                if all_nonzero {
+                    gemm_sub(1, 1, m, &[uv], 1, xj, 1, row, 1);
+                } else {
+                    for (rk, &vk) in row.iter_mut().zip(xj.iter()) {
+                        if !vk.is_zero() {
+                            *rk -= uv * vk;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`solve_multi`](Self::solve_multi) with a real column-major panel
+    /// (embedding into `T`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_multi`](Self::solve_multi).
+    pub fn solve_multi_real(&self, rhs: &[f64], m: usize) -> Result<Vec<T>> {
+        let tb: Vec<T> = rhs.iter().map(|&v| T::from_real(v)).collect();
+        self.solve_multi(&tb, m)
+    }
 }
 
 /// Factors a matrix given as raw CSC parts. Validates the ordering, runs
@@ -1176,6 +1280,62 @@ mod tests {
                 assert_eq!(lu.solve(&b).unwrap(), x0, "refactorization drifted");
             }
         }
+    }
+
+    #[test]
+    fn solve_multi_is_bitwise_identical_to_column_solves() {
+        // Real panel, including an all-zero column and a column with
+        // scattered zeros, to exercise the guarded (non-kernel) path.
+        let n = 40;
+        let a = filled_matrix(n, 4, 0xabc123);
+        let lu = SparseLu::factor(&a).unwrap();
+        let m = 4;
+        let mut rhs = vec![0.0f64; n * m];
+        for i in 0..n {
+            rhs[i] = (0.37 * i as f64).sin() + 0.2; // column 0: dense
+            rhs[n + i] = if i % 3 == 0 {
+                0.0
+            } else {
+                1.0 / (1.0 + i as f64)
+            };
+            // column 2 stays all-zero; column 3: a single spike.
+        }
+        rhs[3 * n + 7] = 2.5;
+        let multi = lu.solve_multi(&rhs, m).unwrap();
+        for k in 0..m {
+            let one = lu.solve(&rhs[k * n..(k + 1) * n]).unwrap();
+            assert_eq!(
+                &multi[k * n..(k + 1) * n],
+                &one[..],
+                "solve_multi column {k} drifted from solve"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_multi_complex_matches_column_solves() {
+        let n = 30;
+        let g = filled_matrix(n, 4, 0xdecaf);
+        let c = CscMatrix::from_triplets(n, n, &(0..n).map(|i| (i, i, 1e-3)).collect::<Vec<_>>())
+            .unwrap();
+        let pencil = ShiftedPencil::new(&g, &c).unwrap();
+        let lu = pencil.factor_complex(Complex64::jomega(120.0)).unwrap();
+        let m = 3;
+        let rhs: Vec<f64> = (0..n * m).map(|i| ((i as f64) * 0.21).cos()).collect();
+        let multi = lu.solve_multi_real(&rhs, m).unwrap();
+        for k in 0..m {
+            let one = lu.solve_real(&rhs[k * n..(k + 1) * n]).unwrap();
+            assert_eq!(&multi[k * n..(k + 1) * n], &one[..], "column {k}");
+        }
+    }
+
+    #[test]
+    fn solve_multi_rejects_bad_shapes() {
+        let a = test_matrix(5);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(lu.solve_multi(&[1.0; 10], 0).is_err());
+        assert!(lu.solve_multi(&[1.0; 9], 2).is_err());
+        assert!(lu.solve_multi_real(&[1.0; 5], 2).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! | *build*    | [`circuit`]    | [`circuit::Network`], [`circuit::mna::assemble`] |
 //! | *partition*| [`circuit`]    | [`circuit::partition::partition_network`] |
 //! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`] (scalar/supernodal [`sparse::NumericKernel`]), [`sparse::ShiftedPencil`] |
-//! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`], [`core::reduce::reduce_network_timed`] (parallel engine: [`core::par`]) |
+//! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`], [`core::reduce::reduce_network_timed`], [`core::reduce::reduce_network_with_report`] — all over the staged [`core::engine::ReductionEngine`] (`Plan → Basis → Project → Certify`; adaptive shifts via [`core::engine::ShiftStrategy`], exact boundaries via [`core::projector::InterfacePolicy`]; parallel substrate: [`core::par`]) |
 //! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`] |
 //! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
 //! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
@@ -38,6 +38,7 @@
 //!     rank_tol: 1e-12,
 //!     max_reduced_dim: None,
 //!     backend: SolverBackend::Sparse,
+//!     ..ReductionOpts::default()
 //! };
 //! let rm = reduce_network(&net, &opts)?;
 //! assert!(rm.reduced_dim() < rm.full_dim());
@@ -63,10 +64,14 @@ pub use bdsm_sparse as sparse;
 /// Most-used types, for glob import.
 pub mod prelude {
     pub use bdsm_circuit::{mna::assemble, partition::partition_network, Network, GROUND};
+    pub use bdsm_core::engine::{
+        AdaptiveShiftOpts, Certificate, EngineReport, ReductionEngine, ShiftStrategy,
+    };
     pub use bdsm_core::krylov::KrylovOpts;
+    pub use bdsm_core::projector::InterfacePolicy;
     pub use bdsm_core::reduce::{
-        reduce_network, reduce_network_timed, ReducedModel, ReductionOpts, SolverBackend,
-        StageTimings,
+        reduce_network, reduce_network_timed, reduce_network_with_report, ReducedModel,
+        ReductionOpts, SolverBackend, StageTimings,
     };
     pub use bdsm_core::transfer::{
         eval_transfer, transfer_rel_err, SparseTransferEvaluator, TransferEvaluator,
