@@ -1,19 +1,15 @@
-//! Reduce a synthetic RC grid and compare full vs reduced models, with
-//! per-backend factorization timings so the sparse speedup is visible —
-//! then let the adaptive engine pick its own shifts and preserve the
-//! interface buses exactly.
+//! Build once → save → serve: reduce a synthetic RC grid through the v1
+//! `Reducer` builder, compare full vs reduced transfer functions, then
+//! persist the ROM as a versioned artifact and serve a frequency batch
+//! (plus a transient) from the loaded copy.
 //!
 //! Usage: `cargo run --release --example reduce_grid [rows] [cols] [blocks]`
 
-use bdsm::core::engine::{AdaptiveShiftOpts, ShiftStrategy};
-use bdsm::core::krylov::KrylovOpts;
-use bdsm::core::projector::InterfacePolicy;
-use bdsm::core::reduce::{
-    reduce_network, reduce_network_with_report, ReductionOpts, SolverBackend,
-};
+use bdsm::core::engine::AdaptiveShiftOpts;
 use bdsm::core::synth::rc_grid;
-use bdsm::core::transfer::{eval_transfer, transfer_rel_err, SparseTransferEvaluator};
+use bdsm::core::transfer::{transfer_rel_err, SparseTransferEvaluator};
 use bdsm::linalg::Complex64;
+use bdsm::rom::{Reducer, RomArtifact, RomServer};
 use bdsm::sparse::ShiftedPencil;
 use std::time::Instant;
 
@@ -29,30 +25,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         net.num_buses()
     );
 
-    let opts = ReductionOpts {
-        num_blocks: blocks,
-        krylov: KrylovOpts {
-            expansion_points: vec![],
-            jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
-            moments_per_point: 2,
-            deflation_tol: 1e-12,
-        },
-        rank_tol: 1e-12,
-        max_reduced_dim: Some(net.num_buses() / 5),
-        backend: SolverBackend::Sparse,
-        ..ReductionOpts::default()
-    };
-
+    // Build: a validated reducer — misconfigurations (zero moments, budget
+    // below the block count, …) surface as a typed BuildError here, not as
+    // a panic mid-pipeline.
+    let reducer = Reducer::builder()
+        .blocks(blocks)
+        .jomega_shifts(&[5.0e1, 4.5e2, 4.0e3])
+        .moments(2)
+        .budget(net.num_buses() / 5)
+        .sparse()
+        .build()?;
     let t0 = Instant::now();
-    let rm = reduce_network(&net, &opts)?;
-    let t_reduce = t0.elapsed();
+    let rm = reducer.reduce(&net)?;
     println!(
-        "reduced {} -> {} states ({} blocks, dims {:?}) via {:?} backend in {t_reduce:.2?}",
+        "reduced {} -> {} states ({} blocks, dims {:?}) via {:?} backend in {:.2?}",
         rm.full_dim(),
         rm.reduced_dim(),
         rm.projector.num_blocks(),
         rm.projector.block_dims(),
         rm.backend,
+        t0.elapsed(),
     );
 
     // Factorization timing: one sparse complex factorization of G + jωC at
@@ -66,9 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_sparse_factor = t.elapsed();
     println!(
         "sparse shifted factorization at n={n}: {t_sparse_factor:.2?} \
-         (pattern nnz {}, factor nnz {})",
+         (pattern nnz {}, factor nnz {}, {} solve panels)",
         pencil.nnz(),
         sparse_lu.factor_nnz(),
+        sparse_lu.solve_panel_count(),
     );
     if n <= 2500 {
         let full = rm.full.to_dense();
@@ -81,63 +74,91 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("dense shifted factorization skipped (n={n} too large to densify)");
     }
 
+    // Save → load → serve: the adaptive+exact headline mode, persisted as
+    // a versioned artifact and queried through the concurrent server.
+    let adaptive = Reducer::builder()
+        .blocks(blocks)
+        .jomega_shifts(&[4.5e2])
+        .moments(2)
+        .adaptive(AdaptiveShiftOpts {
+            candidate_omegas: AdaptiveShiftOpts::log_grid(5.0e1, 4.0e3, 10),
+            tol: 1e-6,
+            max_shifts: 4,
+        })
+        .exact_interfaces()
+        .build()?;
+    let t0 = Instant::now();
+    let artifact = adaptive.reduce_to_artifact(&net)?;
+    println!(
+        "adaptive+exact-interface: {} -> {} states in {:.2?} \
+         ({} greedy residual(s), certified: {}, {} interface buses carried verbatim)",
+        artifact.full_dim(),
+        artifact.reduced_dim(),
+        t0.elapsed(),
+        artifact.provenance.residual_trajectory.len(),
+        artifact.provenance.certified,
+        artifact.interface_map.len(),
+    );
+    for (round, resid) in artifact.provenance.residual_trajectory.iter().enumerate() {
+        println!("  round {round}: worst residual {resid:.2e}");
+    }
+
+    let path = std::env::temp_dir().join("reduce_grid_example.rom");
+    let t = Instant::now();
+    artifact.save(&path)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    let t_save = t.elapsed();
+    let t = Instant::now();
+    let loaded = RomArtifact::load(&path)?;
+    let t_load = t.elapsed();
+    std::fs::remove_file(&path).ok();
+    assert!(artifact.bitwise_eq(&loaded), "round-trip must be bitwise");
+    println!(
+        "artifact: {bytes} bytes on disk, saved in {t_save:.2?}, \
+         loaded (bitwise-equal) in {t_load:.2?} [engine {}]",
+        loaded.provenance.engine_version
+    );
+
+    let mut server = RomServer::new();
+    let id = server.load_artifact(loaded);
     let full_ev =
         SparseTransferEvaluator::new(&rm.full.g, &rm.full.c, rm.full.b.clone(), rm.full.l.clone())?;
-
     println!(
         "{:>12}  {:>12}  {:>12}  {:>10}",
-        "omega", "|H11| full", "|H11| red", "rel err"
+        "omega", "|H11| full", "|H11| served", "rel err"
     );
-    let mut t_full = std::time::Duration::ZERO;
-    let mut t_red = std::time::Duration::ZERO;
-    for i in 0..10 {
-        let omega = 50.0 * (4000.0_f64 / 50.0).powf(i as f64 / 9.0);
-        let s = Complex64::jomega(omega);
-        let t = Instant::now();
-        let hf = full_ev.eval(s)?;
-        t_full += t.elapsed();
-        let t = Instant::now();
-        let hr = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s)?;
-        t_red += t.elapsed();
+    let omegas: Vec<f64> = (0..10)
+        .map(|i| 50.0 * (4000.0_f64 / 50.0).powf(i as f64 / 9.0))
+        .collect();
+    let t = Instant::now();
+    let served = server.transfer_sweep(id, &omegas)?;
+    let t_serve = t.elapsed();
+    for (hs, &omega) in served.iter().zip(&omegas) {
+        let hf = full_ev.eval(Complex64::jomega(omega))?;
         println!(
             "{omega:>12.2}  {:>12.6e}  {:>12.6e}  {:>10.2e}",
             hf[(0, 0)].abs(),
-            hr[(0, 0)].abs(),
-            transfer_rel_err(&hf, &hr)
+            hs[(0, 0)].abs(),
+            transfer_rel_err(&hf, hs)
         );
     }
-    println!("eval time over 10 freqs: full (sparse) {t_full:.2?}, reduced {t_red:.2?}");
-
-    // Staged engine, adaptive mode: one coarse shift, the greedy loop
-    // promotes worst-residual candidates; interface buses stay exact.
-    let mut a_opts = opts.clone();
-    // Uncapped: exact interface columns are mandatory, and a tight budget
-    // would starve the moment directions the certification needs.
-    a_opts.max_reduced_dim = None;
-    a_opts.krylov.jomega_points = vec![4.5e2];
-    a_opts.shift_strategy = ShiftStrategy::Adaptive(AdaptiveShiftOpts {
-        candidate_omegas: AdaptiveShiftOpts::log_grid(5.0e1, 4.0e3, 10),
-        tol: 1e-6,
-        max_shifts: 4,
-    });
-    a_opts.interface_policy = InterfacePolicy::Exact;
-    let t0 = Instant::now();
-    let (arm, report) = reduce_network_with_report(&net, &a_opts)?;
     println!(
-        "adaptive+exact-interface: {} -> {} states in {:.2?} \
-         ({} rounds, certified: {}, {} interface buses carried verbatim)",
-        arm.full_dim(),
-        arm.reduced_dim(),
-        t0.elapsed(),
-        report.rounds.len(),
-        report.certified,
-        arm.interface_map().len(),
+        "served {} frequencies in {t_serve:.2?} ({} shifts now cached); \
+         repeat batches skip factorization entirely",
+        omegas.len(),
+        server.cached_shifts(id)?,
     );
-    for round in &report.rounds {
-        println!(
-            "  round: {} shift(s), {} basis cols -> worst residual {:.2e} at omega {:.1}",
-            round.points, round.basis_cols, round.worst_residual, round.worst_omega
-        );
-    }
+
+    // A served transient: 200 backward-Euler steps of a unit step input.
+    let m = server.artifact(id)?.num_inputs();
+    let wave: Vec<Vec<f64>> = (0..200).map(|_| vec![1.0; m]).collect();
+    let t = Instant::now();
+    let ys = server.transient(id, 1e-4, &wave)?;
+    println!(
+        "served transient: {} steps in {:.2?}, final outputs {:?}",
+        ys.len(),
+        t.elapsed(),
+        ys.last().unwrap(),
+    );
     Ok(())
 }

@@ -95,6 +95,58 @@ fn gate_adaptive(current: &Json, baseline: &Json, factor: f64) -> bool {
     }
 }
 
+/// Gates the ROM serve record when both artifacts carry one: the cold
+/// `RomServer` batch (artifact load + per-shift factorizations + the full
+/// frequency × port sweep) is held to the same regression factor as the
+/// reduce time. Returns `false` on a regression.
+fn gate_serve(current: &Json, baseline: &Json, factor: f64) -> bool {
+    let (cur, base) = match (current.get("serve"), baseline.get("serve")) {
+        (Some(c), Some(b)) if *c != Json::Null && *b != Json::Null => (c, b),
+        _ => {
+            println!("\n(serve record missing from one artifact; not gated)");
+            return true;
+        }
+    };
+    println!(
+        "\n### ROM serve (n = {}, {} freqs x {} port pairs)\n",
+        cur.num("n").unwrap_or(f64::NAN),
+        cur.num("sweep_frequencies").unwrap_or(f64::NAN),
+        cur.num("port_pairs").unwrap_or(f64::NAN),
+    );
+    println!("| metric | baseline | current |");
+    println!("|---|---:|---:|");
+    for (key, label) in [
+        ("t_artifact_load_us", "artifact load (µs)"),
+        ("t_artifact_save_us", "artifact save (µs)"),
+        ("artifact_bytes", "artifact size (bytes)"),
+        ("t_serve_batch_us", "serve batch, cold (µs)"),
+        ("t_serve_warm_us", "serve batch, warm (µs)"),
+        ("queries_per_sec", "queries/sec (cold)"),
+        ("queries_per_sec_warm", "queries/sec (warm)"),
+    ] {
+        println!(
+            "| {label} | {} | {} |",
+            base.num(key).map_or("n/a".into(), |v| format!("{v:.1}")),
+            cur.num(key).map_or("n/a".into(), |v| format!("{v:.1}")),
+        );
+    }
+    match (base.num("t_serve_batch_us"), cur.num("t_serve_batch_us")) {
+        (Some(b), Some(c)) if b > 0.0 => {
+            let ratio = c / b;
+            println!(
+                "\nserve batch: {c:.1} µs vs baseline {b:.1} µs \
+                 ({ratio:.2}x, allowed ≤ {factor:.2}x)"
+            );
+            if ratio > factor {
+                println!("\n**GATE FAILED**: serve batch regressed {ratio:.2}x (> {factor:.2}x)");
+                return false;
+            }
+            true
+        }
+        _ => true,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let current_path = args.first().map_or(DEFAULT_CURRENT, String::as_str);
@@ -161,6 +213,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if !gate_adaptive(&current, &baseline, factor) {
+        return ExitCode::FAILURE;
+    }
+    if !gate_serve(&current, &baseline, factor) {
         return ExitCode::FAILURE;
     }
     println!("\ngate passed");

@@ -1,7 +1,9 @@
 //! Scaling benchmark: per-stage reduction cost, parallel-vs-serial engine
 //! speedup, supernodal-vs-scalar kernel shootout, frequency-sweep fan-out,
-//! and a transient-at-scale scenario — emitted as `BENCH_scaling.json` for
-//! the CI artifact trail (and consumed by the `bench_gate` binary).
+//! a transient-at-scale scenario, adaptive-vs-fixed shift selection, and a
+//! ROM **serve** scenario (artifact save/load + batched `RomServer`
+//! queries) — emitted as `BENCH_scaling.json` for the CI artifact trail
+//! (and consumed by the `bench_gate` binary).
 //!
 //! Usage: `cargo run --release -p bdsm-bench --bin scaling [n ...]`
 //! (default sizes: 500 2000 10000 50000).
@@ -11,35 +13,36 @@
 //! - `t_sparse_factor_solve_us` — supernodal sparse complex factorization
 //!   of `G + jωC` (symbolic + workspace reused via `ShiftedPencil`) plus
 //!   one solve; `t_factor_scalar_us` is the same through the scalar oracle
-//!   kernel, so the blocked-kernel gain is visible per size;
+//!   kernel, so the blocked-kernel gain is visible per size (the active
+//!   `dense::gemm` register blocking is recorded as
+//!   `kernel_fused_rank1`);
 //! - `t_dense_factor_solve_us` — the dense `ZLu` equivalent, only run for
 //!   `n ≤ 2000` (the dense wall is the point of the exercise);
-//! - `t_reduce_us` / `t_reduce_serial_us` — the full BDSM reduction with
-//!   the multi-shift/SVD fan-out on all workers vs pinned to one
-//!   (`BDSM_THREADS=1`), with the per-stage breakdown
-//!   (`stage_{assemble,partition,krylov,project}_us`) from the parallel
-//!   run;
+//! - `t_reduce_us` / `t_reduce_serial_us` — the full BDSM reduction
+//!   (driven through the v1 `Reducer`) with the multi-shift/SVD fan-out on
+//!   all workers vs pinned to one (`BDSM_THREADS=1`), with the per-stage
+//!   breakdown from the parallel run;
 //! - `t_sweep_us` / `t_sweep_serial_us` — a full-model sparse `jω` sweep
 //!   (`sweep_frequencies` samples) with and without the per-frequency
 //!   fan-out;
 //! - `t_rom_eval_us`, `mem_*_bytes` — ROM sample cost and factor-storage
 //!   proxies, as before.
 //!
-//! When the size list includes 10,000, a `transient` record compares full
-//! vs reduced backward-Euler on a 100×100 RC mesh (10⁴ states): wall time
-//! per path, speedup, and the worst relative output deviation.
+//! When the size list includes 10,000, three scenario records are added:
+//! `transient` (full vs reduced backward-Euler on a 100×100 mesh),
+//! `adaptive` (greedy shift selection vs the fixed 8-point set), and
+//! `serve` (adaptive+exact ROM → artifact save/load → 64-frequency ×
+//! all-port `RomServer` batch, cold and cache-warm).
 
 use bdsm_bench::time_with_warmup;
 use bdsm_circuit::mna;
-use bdsm_core::engine::{AdaptiveShiftOpts, ShiftStrategy};
-use bdsm_core::krylov::KrylovOpts;
-use bdsm_core::reduce::{
-    reduce_network_timed, reduce_network_with_report, ReductionOpts, SolverBackend, StageTimings,
-};
+use bdsm_core::engine::AdaptiveShiftOpts;
+use bdsm_core::reduce::StageTimings;
 use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
 use bdsm_core::transfer::{eval_transfer, SparseTransferEvaluator, ZLu};
 use bdsm_core::{par, ReducedModel};
-use bdsm_linalg::Complex64;
+use bdsm_linalg::{Complex64, KERNEL_SHAPE};
+use bdsm_rom::{Reducer, RomArtifact, RomServer};
 use bdsm_sim::TransientSolver;
 use bdsm_sparse::{LuWorkspace, NumericKernel, ShiftedPencil};
 use std::fmt::Write as _;
@@ -53,6 +56,10 @@ const SWEEP_FREQS: [f64; 8] = [2.0e1, 6.0e1, 1.8e2, 5.4e2, 1.6e3, 4.9e3, 1.5e4, 
 /// Transient scenario parameters (10⁴-state RC mesh).
 const TRANSIENT_STEPS: usize = 400;
 const TRANSIENT_H: f64 = 1e-4;
+/// Frequencies per served batch in the serve scenario.
+const SERVE_FREQS: usize = 64;
+
+type BenchError = Box<dyn std::error::Error>;
 
 struct Row {
     n: usize,
@@ -93,6 +100,20 @@ struct AdaptiveRow {
     basis_cols_fixed: usize,
 }
 
+struct ServeRow {
+    n: usize,
+    reduced_dim: usize,
+    artifact_bytes: usize,
+    t_build_us: f64,
+    t_save_us: f64,
+    t_load_us: f64,
+    port_pairs: usize,
+    t_serve_batch_us: f64,
+    t_serve_warm_us: f64,
+    queries_per_sec: f64,
+    queries_per_sec_warm: f64,
+}
+
 /// Runs `f` with the fan-out pinned to one worker, restoring the previous
 /// `BDSM_THREADS` afterwards — the serial baseline the parallel engine is
 /// compared against.
@@ -107,31 +128,28 @@ fn with_serial_engine<T>(f: impl FnOnce() -> T) -> T {
     out
 }
 
-fn reduction_opts(n: usize) -> ReductionOpts {
-    ReductionOpts {
-        num_blocks: 8,
-        krylov: KrylovOpts {
-            expansion_points: vec![],
-            // Eight jω points spanning the band: each is an independent
-            // factorization + recurrence, so the fan-out has enough grist
-            // to fill 4–8 workers.
-            jomega_points: vec![2.0e1, 5.0e1, 1.5e2, OMEGA_MID, 1.5e3, 4.0e3, 1.2e4, 4.0e4],
-            moments_per_point: 2,
-            deflation_tol: 1e-12,
-        },
-        rank_tol: 1e-12,
-        max_reduced_dim: Some((n / 5).max(8)),
-        backend: SolverBackend::Sparse,
-        ..ReductionOpts::default()
-    }
+/// The size-parameterized fixed-shift reducer of the per-size rows: eight
+/// `jω` points spanning the band, so the fan-out has enough grist to fill
+/// 4–8 workers.
+fn reducer_for(n: usize) -> Result<Reducer, BenchError> {
+    Ok(Reducer::builder()
+        .blocks(8)
+        .jomega_shifts(&[2.0e1, 5.0e1, 1.5e2, OMEGA_MID, 1.5e3, 4.0e3, 1.2e4, 4.0e4])
+        .moments(2)
+        .deflation_tol(1e-12)
+        .rank_tol(1e-12)
+        .budget((n / 5).max(8))
+        .sparse()
+        .build()?)
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> = std::env::args()
+        let args: Result<Vec<usize>, _> = std::env::args()
             .skip(1)
-            .map(|a| a.parse().expect("sizes must be positive integers"))
+            .map(|a| a.parse::<usize>())
             .collect();
+        let args = args?;
         if args.is_empty() {
             vec![500, 2000, 10_000, 50_000]
         } else {
@@ -145,14 +163,14 @@ fn main() {
     for &n in &sizes {
         println!("--- n = {n} ---");
         let net = rc_ladder_loaded(n, 1.0, 1e-3, 5.0, 5);
-        let desc = mna::assemble(&net).expect("assembly");
+        let desc = mna::assemble(&net)?;
         let (g, c) = (desc.g.to_csc(), desc.c.to_csc());
         let s = Complex64::jomega(OMEGA_MID);
         let b0: Vec<f64> = desc.b.to_dense().col(0);
 
         // Shifted factor + solve through both numeric kernels (symbolic
         // analysis and scratch workspace amortized in both).
-        let pencil = ShiftedPencil::new(&g, &c).expect("pencil");
+        let pencil = ShiftedPencil::new(&g, &c)?;
         let pencil_scalar = pencil.clone().with_numeric_kernel(NumericKernel::Scalar);
         let iters = if n <= DENSE_CEILING { 5 } else { 2 };
         let mut factor_nnz = 0;
@@ -194,15 +212,15 @@ fn main() {
         // first, so neither measured path pays first-touch page faults or
         // cold-allocator cost (the serial run would otherwise absorb all
         // of it and inflate the reported parallel speedup).
-        let opts = reduction_opts(n);
-        std::hint::black_box(reduce_network_timed(&net, &opts).expect("warmup reduction"));
+        let reducer = reducer_for(n)?;
+        std::hint::black_box(reducer.reduce_timed(&net)?);
         let t_reduce_serial_us = with_serial_engine(|| {
             let t0 = Instant::now();
-            std::hint::black_box(reduce_network_timed(&net, &opts).expect("serial reduction"));
+            std::hint::black_box(reducer.reduce_timed(&net).expect("serial reduction"));
             t0.elapsed().as_secs_f64() * 1e6
         });
         let t0 = Instant::now();
-        let (rm, stages) = reduce_network_timed(&net, &opts).expect("reduction");
+        let (rm, stages) = reducer.reduce_timed(&net)?;
         let t_reduce_us = t0.elapsed().as_secs_f64() * 1e6;
         println!(
             "  reduce {n} -> {} states: {:.1} ms parallel vs {:.1} ms serial ({:.2}x on {} workers)",
@@ -227,14 +245,9 @@ fn main() {
             &rm.full.c,
             rm.full.b.clone(),
             rm.full.l.clone(),
-        )
-        .expect("full evaluator");
+        )?;
         // Same warmup discipline as the reduce comparison above.
-        std::hint::black_box(
-            full_ev
-                .eval_jomega_sweep(&SWEEP_FREQS)
-                .expect("warmup sweep"),
-        );
+        std::hint::black_box(full_ev.eval_jomega_sweep(&SWEEP_FREQS)?);
         let t_sweep_serial_us = with_serial_engine(|| {
             let t0 = Instant::now();
             std::hint::black_box(
@@ -245,7 +258,7 @@ fn main() {
             t0.elapsed().as_secs_f64() * 1e6
         });
         let t0 = Instant::now();
-        std::hint::black_box(full_ev.eval_jomega_sweep(&SWEEP_FREQS).expect("sweep"));
+        std::hint::black_box(full_ev.eval_jomega_sweep(&SWEEP_FREQS)?);
         let t_sweep_us = t0.elapsed().as_secs_f64() * 1e6;
         println!(
             "  full sweep ({} freqs): {:.1} ms parallel vs {:.1} ms serial",
@@ -279,12 +292,21 @@ fn main() {
         });
     }
 
-    let transient = sizes.contains(&10_000).then(transient_scenario);
-    let adaptive = sizes.contains(&10_000).then(adaptive_scenario);
+    let at_scale = sizes.contains(&10_000);
+    let transient = at_scale.then(transient_scenario).transpose()?;
+    let adaptive = at_scale.then(adaptive_scenario).transpose()?;
+    let serve = at_scale.then(serve_scenario).transpose()?;
 
-    let json = render_json(threads, &rows, transient.as_ref(), adaptive.as_ref());
-    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    let json = render_json(
+        threads,
+        &rows,
+        transient.as_ref(),
+        serve.as_ref(),
+        adaptive.as_ref(),
+    );
+    std::fs::write("BENCH_scaling.json", &json)?;
     println!("wrote BENCH_scaling.json ({} sizes)", rows.len());
+    Ok(())
 }
 
 /// Adaptive-vs-fixed shift selection at n = 10⁴: the greedy engine must
@@ -292,32 +314,35 @@ fn main() {
 /// the residual trajectory, and the wall-time against the 8-point fixed
 /// configuration — and `bench_gate` gates the adaptive reduce time like
 /// the fixed one.
-fn adaptive_scenario() -> AdaptiveRow {
+fn adaptive_scenario() -> Result<AdaptiveRow, BenchError> {
     const N: usize = 10_000;
     println!("--- adaptive: n = {N} ladder, greedy shifts vs fixed 8-point set ---");
     let net = rc_ladder_loaded(N, 1.0, 1e-3, 5.0, 5);
-    let fixed_opts = reduction_opts(N);
-    let mut adaptive_opts = reduction_opts(N);
-    adaptive_opts.krylov.jomega_points = vec![OMEGA_MID];
-    adaptive_opts.shift_strategy = ShiftStrategy::Adaptive(AdaptiveShiftOpts {
-        candidate_omegas: SWEEP_FREQS.to_vec(),
-        tol: 1e-6,
-        max_shifts: 8,
-    });
+    let fixed = reducer_for(N)?;
+    let adaptive = Reducer::builder()
+        .blocks(8)
+        .jomega_shifts(&[OMEGA_MID])
+        .moments(2)
+        .deflation_tol(1e-12)
+        .rank_tol(1e-12)
+        .budget((N / 5).max(8))
+        .adaptive(AdaptiveShiftOpts {
+            candidate_omegas: SWEEP_FREQS.to_vec(),
+            tol: 1e-6,
+            max_shifts: 8,
+        })
+        .build()?;
 
     // Warm both paths once, then measure — the adaptive path has its own
     // cold-start surfaces (candidate-sweep evaluator, per-round ROM
     // sweeps) that must not inflate the gated metric.
-    std::hint::black_box(reduce_network_with_report(&net, &fixed_opts).expect("warmup fixed"));
-    std::hint::black_box(
-        reduce_network_with_report(&net, &adaptive_opts).expect("warmup adaptive"),
-    );
+    std::hint::black_box(fixed.reduce_with_report(&net)?);
+    std::hint::black_box(adaptive.reduce_with_report(&net)?);
     let t0 = Instant::now();
-    let (rm_fixed, rep_fixed) =
-        reduce_network_with_report(&net, &fixed_opts).expect("fixed reduction");
+    let (rm_fixed, rep_fixed) = fixed.reduce_with_report(&net)?;
     let t_fixed_us = t0.elapsed().as_secs_f64() * 1e6;
     let t0 = Instant::now();
-    let (rm, rep) = reduce_network_with_report(&net, &adaptive_opts).expect("adaptive reduction");
+    let (rm, rep) = adaptive.reduce_with_report(&net)?;
     let t_adaptive_us = t0.elapsed().as_secs_f64() * 1e6;
 
     let shifts: Vec<f64> = rep
@@ -339,7 +364,7 @@ fn adaptive_scenario() -> AdaptiveRow {
         t_fixed_us / 1e3,
         rep_fixed.shifts.len(),
     );
-    AdaptiveRow {
+    Ok(AdaptiveRow {
         n: N,
         t_adaptive_us,
         t_fixed_us,
@@ -352,29 +377,25 @@ fn adaptive_scenario() -> AdaptiveRow {
         reduced_dim_fixed: rm_fixed.reduced_dim(),
         basis_cols: rep.basis_cols,
         basis_cols_fixed: rep_fixed.basis_cols,
-    }
+    })
 }
 
 /// Transient at scale: full vs reduced backward-Euler step response on a
 /// 100×100 RC mesh (10⁴ states) — the time-domain counterpart of the
 /// frequency-domain rows, closing the bench suite's coverage gap.
-fn transient_scenario() -> TransientRow {
+fn transient_scenario() -> Result<TransientRow, BenchError> {
     println!("--- transient: 100x100 RC mesh, {TRANSIENT_STEPS} steps of h = {TRANSIENT_H} ---");
     let net = rc_grid(100, 100, 1.0, 1e-3, 2.0);
-    let opts = ReductionOpts {
-        num_blocks: 8,
-        krylov: KrylovOpts {
-            expansion_points: vec![],
-            jomega_points: vec![5.0e1, OMEGA_MID, 4.0e3],
-            moments_per_point: 2,
-            deflation_tol: 1e-12,
-        },
-        rank_tol: 1e-12,
-        max_reduced_dim: Some(2000),
-        backend: SolverBackend::Sparse,
-        ..ReductionOpts::default()
-    };
-    let (rm, _) = reduce_network_timed(&net, &opts).expect("grid reduction");
+    let reducer = Reducer::builder()
+        .blocks(8)
+        .jomega_shifts(&[5.0e1, OMEGA_MID, 4.0e3])
+        .moments(2)
+        .deflation_tol(1e-12)
+        .rank_tol(1e-12)
+        .budget(2000)
+        .sparse()
+        .build()?;
+    let rm = reducer.reduce(&net)?;
     let (t_full_us, y_full) = run_transient(TransientSolver::for_full(&rm, TRANSIENT_H), &rm);
     let (t_rom_us, y_rom) = run_transient(TransientSolver::for_reduced(&rm, TRANSIENT_H), &rm);
     // Worst per-step output deviation, relative to the full response's
@@ -398,13 +419,95 @@ fn transient_scenario() -> TransientRow {
         t_full_us / t_rom_us,
         max_rel_output_err
     );
-    TransientRow {
+    Ok(TransientRow {
         n: rm.full_dim(),
         reduced_dim: rm.reduced_dim(),
         t_full_us,
         t_rom_us,
         max_rel_output_err,
-    }
+    })
+}
+
+/// The ROM serve lifecycle at scale: a 10⁴-state mesh reduced in the
+/// headline mode (adaptive + exact interfaces), persisted as a versioned
+/// artifact, loaded back, and queried through `RomServer` — a
+/// `SERVE_FREQS`-frequency × all-port batch, cold (paying the per-shift
+/// factorizations) and cache-warm (pure triangular solves). The cold
+/// batch is the gated metric.
+fn serve_scenario() -> Result<ServeRow, BenchError> {
+    println!("--- serve: 100x100 RC mesh ROM artifact, {SERVE_FREQS}-frequency batch ---");
+    let net = rc_grid(100, 100, 1.0, 1e-3, 2.0);
+    let reducer = Reducer::builder()
+        .blocks(4)
+        .jomega_shifts(&[OMEGA_MID])
+        .moments(2)
+        .budget(2000)
+        .adaptive(AdaptiveShiftOpts {
+            candidate_omegas: AdaptiveShiftOpts::log_grid(5.0e1, 4.0e3, 6),
+            tol: 1e-6,
+            max_shifts: 4,
+        })
+        .exact_interfaces()
+        .build()?;
+    let t0 = Instant::now();
+    let artifact = reducer.reduce_to_artifact(&net)?;
+    let t_build_us = t0.elapsed().as_secs_f64() * 1e6;
+    let artifact_bytes = artifact.to_bytes().len();
+
+    let path = std::env::temp_dir().join("bdsm_bench_serve.rom");
+    let t0 = Instant::now();
+    artifact.save(&path)?;
+    let t_save_us = t0.elapsed().as_secs_f64() * 1e6;
+    let t0 = Instant::now();
+    let loaded = RomArtifact::load(&path)?;
+    let t_load_us = t0.elapsed().as_secs_f64() * 1e6;
+    std::fs::remove_file(&path).ok();
+    assert!(artifact.bitwise_eq(&loaded), "serve artifact drifted");
+
+    let port_pairs = loaded.num_outputs() * loaded.num_inputs();
+    let reduced_dim = loaded.reduced_dim();
+    let n = loaded.full_dim();
+    let mut server = RomServer::new();
+    let id = server.load_artifact(loaded);
+    let omegas: Vec<f64> = (0..SERVE_FREQS)
+        .map(|i| 50.0 * (4.0e3_f64 / 50.0).powf(i as f64 / (SERVE_FREQS - 1) as f64))
+        .collect();
+    let t0 = Instant::now();
+    std::hint::black_box(server.transfer_sweep(id, &omegas)?);
+    let t_serve_batch_us = t0.elapsed().as_secs_f64() * 1e6;
+    let t0 = Instant::now();
+    std::hint::black_box(server.transfer_sweep(id, &omegas)?);
+    let t_serve_warm_us = t0.elapsed().as_secs_f64() * 1e6;
+    let queries = (SERVE_FREQS * port_pairs) as f64;
+    let queries_per_sec = queries / (t_serve_batch_us / 1e6);
+    let queries_per_sec_warm = queries / (t_serve_warm_us / 1e6);
+    println!(
+        "  artifact {artifact_bytes} B: build {:.1} ms, save {:.2} ms, load {:.2} ms",
+        t_build_us / 1e3,
+        t_save_us / 1e3,
+        t_load_us / 1e3,
+    );
+    println!(
+        "  batch of {SERVE_FREQS} freqs x {port_pairs} port pairs: cold {:.1} ms ({:.0} q/s), \
+         warm {:.1} ms ({:.0} q/s)",
+        t_serve_batch_us / 1e3,
+        queries_per_sec,
+        t_serve_warm_us / 1e3,
+        queries_per_sec_warm,
+    );
+    Ok(ServeRow {
+        n,
+        reduced_dim,
+        artifact_bytes,
+        t_build_us,
+        t_save_us,
+        t_load_us,
+        port_pairs,
+        t_serve_batch_us,
+        t_serve_warm_us,
+        queries_per_sec,
+        queries_per_sec_warm,
+    })
 }
 
 fn run_transient(
@@ -426,15 +529,17 @@ fn render_f64_array(vals: &[f64]) -> String {
 }
 
 /// Hand-rolled JSON (the dependency set has no serde): one record per size
-/// plus the optional transient and adaptive records.
+/// plus the optional transient, serve, and adaptive records.
 fn render_json(
     threads: usize,
     rows: &[Row],
     transient: Option<&TransientRow>,
+    serve: Option<&ServeRow>,
     adaptive: Option<&AdaptiveRow>,
 ) -> String {
     let mut out = format!(
-        "{{\n  \"bench\": \"scaling\",\n  \"topology\": \"rc_ladder_loaded\",\n  \"omega\": {OMEGA_MID:.1},\n  \"threads\": {threads},\n  \"results\": [\n"
+        "{{\n  \"bench\": \"scaling\",\n  \"topology\": \"rc_ladder_loaded\",\n  \"omega\": {OMEGA_MID:.1},\n  \"threads\": {threads},\n  \"kernel_fused_rank1\": {},\n  \"results\": [\n",
+        KERNEL_SHAPE.fused_rank1
     );
     for (i, r) in rows.iter().enumerate() {
         let dense = r
@@ -502,6 +607,31 @@ fn render_json(
         )
         .expect("string write"),
         None => out.push_str("  \"transient\": null,\n"),
+    }
+    match serve {
+        Some(s) => writeln!(
+            out,
+            "  \"serve\": {{\"topology\": \"rc_grid\", \"n\": {}, \"reduced_dim\": {}, \
+             \"artifact_bytes\": {}, \"t_artifact_build_us\": {:.1}, \
+             \"t_artifact_save_us\": {:.1}, \"t_artifact_load_us\": {:.1}, \
+             \"sweep_frequencies\": {}, \"port_pairs\": {}, \
+             \"t_serve_batch_us\": {:.1}, \"t_serve_warm_us\": {:.1}, \
+             \"queries_per_sec\": {:.1}, \"queries_per_sec_warm\": {:.1}}},",
+            s.n,
+            s.reduced_dim,
+            s.artifact_bytes,
+            s.t_build_us,
+            s.t_save_us,
+            s.t_load_us,
+            SERVE_FREQS,
+            s.port_pairs,
+            s.t_serve_batch_us,
+            s.t_serve_warm_us,
+            s.queries_per_sec,
+            s.queries_per_sec_warm,
+        )
+        .expect("string write"),
+        None => out.push_str("  \"serve\": null,\n"),
     }
     match adaptive {
         Some(a) => writeln!(

@@ -71,5 +71,10 @@ pub use reduce::{
     ReducedModel, ReductionOpts, SolverBackend, SparseDescriptor, StageTimings,
 };
 pub use transfer::{
-    eval_transfer, transfer_rel_err, CMatrix, SparseTransferEvaluator, TransferEvaluator, ZLu,
+    eval_transfer, eval_transfer_factored, transfer_rel_err, CMatrix, SparseTransferEvaluator,
+    TransferEvaluator, ZLu,
 };
+
+/// Version of the reduction engine, recorded in ROM artifact provenance so
+/// a loaded artifact names the code that built it.
+pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");

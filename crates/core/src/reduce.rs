@@ -1,6 +1,14 @@
 //! The BDSM pipeline entry points: network → partition → block bases →
 //! reduced model.
 //!
+//! This is the **low-level engine path**. The supported public API lives
+//! one layer up in the `bdsm-rom` crate (re-exported as `bdsm::rom`):
+//! its `Reducer` builder validates a whole configuration before any
+//! factorization work starts, and its `RomArtifact`/`RomServer` types add
+//! persistence and concurrent serving on top of the [`ReducedModel`]
+//! produced here. The free functions below stay stable for callers that
+//! drive the engine stages directly.
+//!
 //! [`reduce_network`] is a thin wrapper over the staged
 //! [`crate::engine::ReductionEngine`], which runs the explicit
 //! `Plan → Basis → Project → Certify` pipeline:

@@ -226,6 +226,27 @@ pub fn eval_transfer(
 ) -> Result<CMatrix> {
     check_descriptor_shapes(g, c, b, l)?;
     let lu = ZLu::factor_shifted(g, c, s)?;
+    eval_transfer_factored(&lu, b, l)
+}
+
+/// Evaluates `H = L A⁻¹ B` against an already-factored `A = G + sC` — the
+/// amortized shape of the ROM query layer, where one cached [`ZLu`] serves
+/// many port responses at the same shift. [`eval_transfer`] runs through
+/// this routine, so cached and freshly-factored evaluations are
+/// bitwise-identical.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `B`/`L` do not match the
+/// factored dimension.
+pub fn eval_transfer_factored(lu: &ZLu, b: &Matrix, l: &Matrix) -> Result<CMatrix> {
+    if b.nrows() != lu.dim() || l.ncols() != lu.dim() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "eval-transfer-factored",
+            lhs: (lu.dim(), lu.dim()),
+            rhs: (b.nrows(), l.ncols()),
+        });
+    }
     let mut h = CMatrix::zeros(l.nrows(), b.ncols());
     for j in 0..b.ncols() {
         let x = lu.solve_real(&b.col(j))?;

@@ -74,11 +74,25 @@ pub fn gemm_sub<T: GemmScalar>(
     gemm_kernel::<T, true>(m, k, n, a, lda, b, ldb, c, ldc);
 }
 
-/// Shared implementation: per output column, rank-1 updates are fused four
-/// at a time so each pass over the `C` column amortizes four broadcast
-/// `B` values and four unit-stride `A` streams — the register blocking —
-/// while `k` is consumed in order, keeping results independent of the
-/// blocking factor up to the usual fused-sum rounding.
+/// Compile-time register-blocking parameters of the micro-kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelShape {
+    /// Rank-1 updates fused per pass over a `C` column: each fused pass
+    /// broadcasts this many `B` values and streams as many unit-stride `A`
+    /// columns, so widening it deepens the register blocking without
+    /// touching the loop structure.
+    pub fused_rank1: usize,
+}
+
+/// The active kernel shape — retune the scalar unroll in this one line.
+pub const KERNEL_SHAPE: KernelShape = KernelShape { fused_rank1: 8 };
+
+/// Shared implementation: per output column, rank-1 updates are fused
+/// [`KERNEL_SHAPE`]`.fused_rank1` at a time so each pass over the `C`
+/// column amortizes that many broadcast `B` values
+/// and unit-stride `A` streams — the register blocking — while `k` is
+/// consumed in order, keeping results independent of the blocking factor
+/// up to the usual fused-sum rounding.
 #[allow(clippy::too_many_arguments)]
 fn gemm_kernel<T: GemmScalar, const SUB: bool>(
     m: usize,
@@ -91,6 +105,7 @@ fn gemm_kernel<T: GemmScalar, const SUB: bool>(
     c: &mut [T],
     ldc: usize,
 ) {
+    const FUSED: usize = KERNEL_SHAPE.fused_rank1;
     if m == 0 || k == 0 || n == 0 {
         return;
     }
@@ -99,21 +114,22 @@ fn gemm_kernel<T: GemmScalar, const SUB: bool>(
         let cj = &mut c[j * ldc..j * ldc + m];
         let bj = &b[j * ldb..j * ldb + k];
         let mut p = 0;
-        while p + 4 <= k {
-            let (b0, b1, b2, b3) = (bj[p], bj[p + 1], bj[p + 2], bj[p + 3]);
-            let a0 = &a[p * lda..p * lda + m];
-            let a1 = &a[(p + 1) * lda..(p + 1) * lda + m];
-            let a2 = &a[(p + 2) * lda..(p + 2) * lda + m];
-            let a3 = &a[(p + 3) * lda..(p + 3) * lda + m];
+        while p + FUSED <= k {
+            let bb: [T; FUSED] = std::array::from_fn(|t| bj[p + t]);
+            let acols: [&[T]; FUSED] =
+                std::array::from_fn(|t| &a[(p + t) * lda..(p + t) * lda + m]);
             for i in 0..m {
-                let t = a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+                let mut t = acols[0][i] * bb[0];
+                for u in 1..FUSED {
+                    t += acols[u][i] * bb[u];
+                }
                 if SUB {
                     cj[i] -= t;
                 } else {
                     cj[i] += t;
                 }
             }
-            p += 4;
+            p += FUSED;
         }
         while p < k {
             let bp = bj[p];
@@ -198,7 +214,17 @@ mod tests {
 
     #[test]
     fn gemm_matches_naive_over_shapes() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (8, 4, 4), (17, 9, 5), (6, 13, 1)] {
+        // Shapes straddle the fused width: k < fused, k == fused, and
+        // k > 2·fused with a remainder.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (8, 4, 4),
+            (17, 9, 5),
+            (6, 13, 1),
+            (4, KERNEL_SHAPE.fused_rank1, 2),
+            (5, 2 * KERNEL_SHAPE.fused_rank1 + 3, 3),
+        ] {
             let a = fill(m * k, 0x11 + (m * k) as u64);
             let b = fill(k * n, 0x22 + (k * n) as u64);
             let mut c = fill(m * n, 0x33);

@@ -9,7 +9,7 @@ pub mod qr;
 pub mod svd;
 
 pub use eig_sym::SymEig;
-pub use gemm::{gemm_acc, gemm_sub, trsv_unit_lower, GemmScalar};
+pub use gemm::{gemm_acc, gemm_sub, trsv_unit_lower, GemmScalar, KernelShape, KERNEL_SHAPE};
 pub use hessenberg::{hessenberg, solve_shifted_hessenberg, Hessenberg};
 pub use lu::DenseLu;
 pub use matrix::Matrix;

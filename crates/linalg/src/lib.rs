@@ -34,6 +34,6 @@ pub mod vector;
 pub use complex::Complex64;
 pub use dense::{
     gemm_acc, gemm_sub, hessenberg, solve_shifted_hessenberg, trsv_unit_lower, DenseLu, DenseQr,
-    GemmScalar, Hessenberg, Matrix, Svd, SymEig,
+    GemmScalar, Hessenberg, KernelShape, Matrix, Svd, SymEig, KERNEL_SHAPE,
 };
 pub use error::{LinalgError, Result};

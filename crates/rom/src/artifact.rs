@@ -1,0 +1,829 @@
+//! Versioned, self-describing persistence for reduced models.
+//!
+//! A [`RomArtifact`] captures everything needed to *serve* a ROM long
+//! after the build: the reduced descriptor `(G_r, C_r, B_r, L_r)`, the
+//! block structure and state permutation, the interface map of exactly
+//! preserved boundary voltages, and build provenance (engine version,
+//! shifts chosen, residual trajectory, certification flag).
+//!
+//! The binary format is deliberately boring: a magic tag, a format
+//! version, length-prefixed sections, every `f64` stored as its IEEE-754
+//! bit pattern (`to_bits`), and a trailing FNV-1a checksum. Round-trips
+//! are **bitwise-exact** — `save` → `load` reproduces every float bit for
+//! bit, which is what lets a served artifact answer queries with exactly
+//! the numbers the freshly built model would produce. A JSON debug dump
+//! ([`RomArtifact::to_json`]) mirrors the same content human-readably.
+
+use bdsm_circuit::Partition;
+use bdsm_core::engine::EngineReport;
+use bdsm_core::krylov::ExpansionPoint;
+use bdsm_core::projector::InterfacePolicy;
+use bdsm_core::reduce::{CoreError, ReducedModel, SolverBackend};
+use bdsm_linalg::{LinalgError, Matrix};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Leading magic of every artifact file.
+pub const MAGIC: [u8; 8] = *b"BDSMROM\0";
+
+/// Format version this build writes and the only one it reads. Bump on
+/// any layout change; readers reject everything else loudly.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Build provenance carried inside an artifact — the audit trail that
+/// makes a loaded ROM explainable: which engine built it, from which
+/// shifts, and how the adaptive residual converged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// `bdsm-core` version that ran the reduction.
+    pub engine_version: String,
+    /// Expansion points of the final basis, in merge order.
+    pub shifts: Vec<ExpansionPoint>,
+    /// Columns of the final global Krylov basis.
+    pub basis_cols: usize,
+    /// Whether the adaptive loop certified its residual tolerance.
+    pub certified: bool,
+    /// Worst candidate-grid residual per greedy round (empty for fixed
+    /// shifts).
+    pub residual_trajectory: Vec<f64>,
+    /// Backend that carried the full-model solves.
+    pub backend: SolverBackend,
+    /// How interface buses were treated by the projector.
+    pub interface_policy: InterfacePolicy,
+}
+
+/// A persistable reduced-order model: reduced descriptor + block
+/// structure + interface map + provenance. Build one with
+/// [`RomArtifact::from_model`] (or [`crate::Reducer::reduce_to_artifact`]),
+/// persist with [`save`](Self::save) / [`load`](Self::load), and serve it
+/// through [`crate::RomServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RomArtifact {
+    /// Full states per block of the permuted full model.
+    pub block_sizes: Vec<usize>,
+    /// Reduced states per block (`qᵢ`; sums to the reduced dimension).
+    pub block_dims: Vec<usize>,
+    /// State permutation (`new_of_old`) the build applied before
+    /// projection.
+    pub state_order: Vec<usize>,
+    /// The bus partition behind the block structure.
+    pub partition: Partition,
+    /// Interface states of the permuted full model (sorted).
+    pub interface_states: Vec<usize>,
+    /// `(full state row, reduced column)` pairs of exactly preserved
+    /// boundary voltages (empty under folded interfaces).
+    pub interface_map: Vec<(usize, usize)>,
+    /// Reduced conductance `VᵀGV`.
+    pub g: Matrix,
+    /// Reduced storage `VᵀCV`.
+    pub c: Matrix,
+    /// Reduced input map `VᵀB`.
+    pub b: Matrix,
+    /// Reduced output map `LV`.
+    pub l: Matrix,
+    /// Build provenance.
+    pub provenance: Provenance,
+}
+
+/// Errors of the artifact and serving layers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RomError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the artifact magic.
+    BadMagic,
+    /// The file's format version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The file ends mid-section.
+    Truncated {
+        /// Which section was being read.
+        while_reading: &'static str,
+    },
+    /// Structurally invalid content (bad checksum, inconsistent shapes,
+    /// trailing bytes, …).
+    Corrupt(&'static str),
+    /// A query named a model id the server has not loaded.
+    UnknownModel(usize),
+    /// A query was malformed (port out of range, empty batch, …).
+    Query(&'static str),
+    /// Numerical failure while serving (e.g. a query frequency hits a
+    /// pole of the ROM).
+    Linalg(LinalgError),
+    /// Reduction-engine failure while building an artifact.
+    Core(CoreError),
+}
+
+impl fmt::Display for RomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RomError::Io(e) => write!(f, "artifact io error: {e}"),
+            RomError::BadMagic => write!(f, "not a BDSM ROM artifact (bad magic)"),
+            RomError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} unsupported (this build reads {supported})"
+            ),
+            RomError::Truncated { while_reading } => {
+                write!(f, "artifact truncated while reading {while_reading}")
+            }
+            RomError::Corrupt(what) => write!(f, "artifact corrupt: {what}"),
+            RomError::UnknownModel(id) => write!(f, "no model with id {id} is loaded"),
+            RomError::Query(what) => write!(f, "bad query: {what}"),
+            RomError::Linalg(e) => write!(f, "serving failed: {e}"),
+            RomError::Core(e) => write!(f, "reduction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RomError::Io(e) => Some(e),
+            RomError::Linalg(e) => Some(e),
+            RomError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RomError {
+    fn from(e: std::io::Error) -> Self {
+        RomError::Io(e)
+    }
+}
+
+impl From<LinalgError> for RomError {
+    fn from(e: LinalgError) -> Self {
+        RomError::Linalg(e)
+    }
+}
+
+impl From<CoreError> for RomError {
+    fn from(e: CoreError) -> Self {
+        RomError::Core(e)
+    }
+}
+
+impl RomArtifact {
+    /// Captures a freshly built [`ReducedModel`] (and, when available, the
+    /// engine's audit report) as a persistable artifact. The reduced
+    /// matrices are copied verbatim — no rounding, no reformatting — so
+    /// the artifact serves exactly the numbers the in-memory model would.
+    pub fn from_model(rm: &ReducedModel, report: Option<&EngineReport>) -> Self {
+        let interface_map = rm.interface_map().to_vec();
+        let provenance = Provenance {
+            engine_version: bdsm_core::ENGINE_VERSION.to_string(),
+            shifts: report.map(|r| r.shifts.clone()).unwrap_or_default(),
+            basis_cols: report.map_or(0, |r| r.basis_cols),
+            certified: report.is_some_and(|r| r.certified),
+            residual_trajectory: report
+                .map(|r| r.rounds.iter().map(|x| x.worst_residual).collect())
+                .unwrap_or_default(),
+            backend: rm.backend,
+            // A `ReducedModel` does not carry its policy, so infer it
+            // from the interface map (non-empty ⇔ boundaries preserved).
+            // `Reducer::reduce_to_artifact` overwrites this with the
+            // actually-configured policy.
+            interface_policy: if interface_map.is_empty() {
+                InterfacePolicy::Folded
+            } else {
+                InterfacePolicy::Exact
+            },
+        };
+        RomArtifact {
+            block_sizes: rm.block_sizes.clone(),
+            block_dims: rm.projector.block_dims(),
+            state_order: rm.state_order.clone(),
+            partition: rm.partition.clone(),
+            interface_states: rm.interface_states.clone(),
+            interface_map,
+            g: rm.g.clone(),
+            c: rm.c.clone(),
+            b: rm.b.clone(),
+            l: rm.l.clone(),
+            provenance,
+        }
+    }
+
+    /// Full state dimension `n` of the model this ROM reduces.
+    pub fn full_dim(&self) -> usize {
+        self.block_sizes.iter().sum()
+    }
+
+    /// Reduced state dimension `q`.
+    pub fn reduced_dim(&self) -> usize {
+        self.g.nrows()
+    }
+
+    /// Number of input ports `m`.
+    pub fn num_inputs(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Number of output ports `p`.
+    pub fn num_outputs(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Number of partition blocks `k`.
+    pub fn num_blocks(&self) -> usize {
+        self.block_sizes.len()
+    }
+
+    /// `true` when every float, index, and string of the two artifacts is
+    /// identical — the round-trip acceptance predicate (floats compared
+    /// via their bit patterns, so `-0.0` and NaN payloads count).
+    pub fn bitwise_eq(&self, other: &RomArtifact) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.str(&self.provenance.engine_version);
+        w.usizes(&self.block_sizes);
+        w.usizes(&self.block_dims);
+        w.usizes(&self.state_order);
+        w.usizes_raw(&self.partition.pack());
+        w.usizes(&self.interface_states);
+        w.u64(self.interface_map.len() as u64);
+        for &(row, col) in &self.interface_map {
+            w.u64(row as u64);
+            w.u64(col as u64);
+        }
+        for m in [&self.g, &self.c, &self.b, &self.l] {
+            w.matrix(m);
+        }
+        w.u64(self.provenance.shifts.len() as u64);
+        for s in &self.provenance.shifts {
+            match *s {
+                ExpansionPoint::Real(v) => {
+                    w.u8(0);
+                    w.f64(v);
+                }
+                ExpansionPoint::Jomega(v) => {
+                    w.u8(1);
+                    w.f64(v);
+                }
+            }
+        }
+        w.u64(self.provenance.basis_cols as u64);
+        w.u8(self.provenance.certified as u8);
+        w.u64(self.provenance.residual_trajectory.len() as u64);
+        for &r in &self.provenance.residual_trajectory {
+            w.f64(r);
+        }
+        w.u8(match self.provenance.backend {
+            SolverBackend::Sparse => 0,
+            SolverBackend::Dense => 1,
+        });
+        w.u8(match self.provenance.interface_policy {
+            InterfacePolicy::Folded => 0,
+            InterfacePolicy::Exact => 1,
+        });
+        w.finish()
+    }
+
+    /// Deserializes the binary format, validating magic, version,
+    /// checksum, and structural consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::BadMagic`], [`RomError::UnsupportedVersion`],
+    /// [`RomError::Truncated`], or [`RomError::Corrupt`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RomError> {
+        let mut r = Reader::new(bytes)?;
+        let engine_version = r.str("engine version")?;
+        let block_sizes = r.usizes("block sizes")?;
+        let block_dims = r.usizes("block dims")?;
+        let state_order = r.usizes("state order")?;
+        let partition_words = r.u64s("partition")?;
+        let partition = Partition::unpack(&partition_words)
+            .map_err(|_| RomError::Corrupt("partition encoding invalid"))?;
+        let interface_states = r.usizes("interface states")?;
+        let n_map = r.len("interface map", 16)?;
+        let mut interface_map = Vec::with_capacity(n_map);
+        for _ in 0..n_map {
+            let row = r.u64("interface map")? as usize;
+            let col = r.u64("interface map")? as usize;
+            interface_map.push((row, col));
+        }
+        let g = r.matrix("G")?;
+        let c = r.matrix("C")?;
+        let b = r.matrix("B")?;
+        let l = r.matrix("L")?;
+        let n_shifts = r.len("shifts", 9)?;
+        let mut shifts = Vec::with_capacity(n_shifts);
+        for _ in 0..n_shifts {
+            let tag = r.u8("shift tag")?;
+            let v = r.f64("shift value")?;
+            shifts.push(match tag {
+                0 => ExpansionPoint::Real(v),
+                1 => ExpansionPoint::Jomega(v),
+                _ => return Err(RomError::Corrupt("unknown expansion-point tag")),
+            });
+        }
+        let basis_cols = r.u64("basis cols")? as usize;
+        let certified = match r.u8("certified flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(RomError::Corrupt("certified flag not boolean")),
+        };
+        let n_resid = r.len("residual trajectory", 8)?;
+        let mut residual_trajectory = Vec::with_capacity(n_resid);
+        for _ in 0..n_resid {
+            residual_trajectory.push(r.f64("residual trajectory")?);
+        }
+        let backend = match r.u8("backend tag")? {
+            0 => SolverBackend::Sparse,
+            1 => SolverBackend::Dense,
+            _ => return Err(RomError::Corrupt("unknown backend tag")),
+        };
+        let interface_policy = match r.u8("interface policy tag")? {
+            0 => InterfacePolicy::Folded,
+            1 => InterfacePolicy::Exact,
+            _ => return Err(RomError::Corrupt("unknown interface-policy tag")),
+        };
+        r.finish()?;
+
+        let artifact = RomArtifact {
+            block_sizes,
+            block_dims,
+            state_order,
+            partition,
+            interface_states,
+            interface_map,
+            g,
+            c,
+            b,
+            l,
+            provenance: Provenance {
+                engine_version,
+                shifts,
+                basis_cols,
+                certified,
+                residual_trajectory,
+                backend,
+                interface_policy,
+            },
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Structural consistency of a deserialized artifact: shapes agree
+    /// with the block structure and every index is in range.
+    fn validate(&self) -> Result<(), RomError> {
+        let q = self.g.nrows();
+        let n = self.full_dim();
+        if !self.g.is_square() || self.c.shape() != (q, q) {
+            return Err(RomError::Corrupt("reduced G/C not square and consistent"));
+        }
+        if self.b.nrows() != q || self.l.ncols() != q {
+            return Err(RomError::Corrupt("reduced B/L shapes inconsistent"));
+        }
+        if self.block_dims.iter().sum::<usize>() != q {
+            return Err(RomError::Corrupt("block dims do not sum to reduced dim"));
+        }
+        if self.block_dims.len() != self.block_sizes.len() {
+            return Err(RomError::Corrupt("block dim/size counts differ"));
+        }
+        if self.state_order.len() != n {
+            return Err(RomError::Corrupt("state order length mismatch"));
+        }
+        if self.interface_states.iter().any(|&s| s >= n) {
+            return Err(RomError::Corrupt("interface state out of range"));
+        }
+        if self
+            .interface_map
+            .iter()
+            .any(|&(row, col)| row >= n || col >= q)
+        {
+            return Err(RomError::Corrupt("interface map entry out of range"));
+        }
+        Ok(())
+    }
+
+    /// Saves the binary artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), RomError> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Loads a binary artifact from a file.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_bytes`](Self::from_bytes), plus [`RomError::Io`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, RomError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Human-readable JSON mirror of the artifact (floats printed with 17
+    /// significant digits — enough to reconstruct every bit — but the
+    /// binary format remains the round-trip authority).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"format_version\": {FORMAT_VERSION},");
+        let _ = writeln!(
+            out,
+            "  \"engine_version\": \"{}\",",
+            self.provenance.engine_version
+        );
+        let _ = writeln!(out, "  \"full_dim\": {},", self.full_dim());
+        let _ = writeln!(out, "  \"reduced_dim\": {},", self.reduced_dim());
+        let _ = writeln!(out, "  \"block_sizes\": {:?},", self.block_sizes);
+        let _ = writeln!(out, "  \"block_dims\": {:?},", self.block_dims);
+        let _ = writeln!(out, "  \"interface_states\": {:?},", self.interface_states);
+        let map: Vec<String> = self
+            .interface_map
+            .iter()
+            .map(|&(r, c)| format!("[{r}, {c}]"))
+            .collect();
+        let _ = writeln!(out, "  \"interface_map\": [{}],", map.join(", "));
+        for (name, m) in [
+            ("g", &self.g),
+            ("c", &self.c),
+            ("b", &self.b),
+            ("l", &self.l),
+        ] {
+            let _ = writeln!(out, "  \"{name}\": {},", json_matrix(m));
+        }
+        let shifts: Vec<String> = self
+            .provenance
+            .shifts
+            .iter()
+            .map(|s| match *s {
+                ExpansionPoint::Real(v) => format!("{{\"real\": {v:.17e}}}"),
+                ExpansionPoint::Jomega(v) => format!("{{\"jomega\": {v:.17e}}}"),
+            })
+            .collect();
+        let resid: Vec<String> = self
+            .provenance
+            .residual_trajectory
+            .iter()
+            .map(|r| format!("{r:.17e}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"provenance\": {{\"shifts\": [{}], \"basis_cols\": {}, \
+             \"certified\": {}, \"residual_trajectory\": [{}], \
+             \"backend\": \"{:?}\", \"interface_policy\": \"{:?}\"}}",
+            shifts.join(", "),
+            self.provenance.basis_cols,
+            self.provenance.certified,
+            resid.join(", "),
+            self.provenance.backend,
+            self.provenance.interface_policy,
+        );
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON debug dump next to (or instead of) the binary.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::Io`] on filesystem failure.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), RomError> {
+        Ok(std::fs::write(path, self.to_json())?)
+    }
+}
+
+fn json_matrix(m: &Matrix) -> String {
+    let rows: Vec<String> = (0..m.nrows())
+        .map(|i| {
+            let cells: Vec<String> = m.row(i).iter().map(|v| format!("{v:.17e}")).collect();
+            format!("[{}]", cells.join(", "))
+        })
+        .collect();
+    format!(
+        "{{\"nrows\": {}, \"ncols\": {}, \"rows\": [{}]}}",
+        m.nrows(),
+        m.ncols(),
+        rows.join(", ")
+    )
+}
+
+/// FNV-1a over a byte stream — the artifact's corruption tripwire (not a
+/// cryptographic seal).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian section writer.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn usizes(&mut self, vs: &[usize]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v as u64);
+        }
+    }
+
+    fn usizes_raw(&mut self, vs: &[u64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    fn matrix(&mut self, m: &Matrix) {
+        self.u64(m.nrows() as u64);
+        self.u64(m.ncols() as u64);
+        for &v in m.as_slice() {
+            self.f64(v);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a(&self.buf);
+        self.u64(checksum);
+        self.buf
+    }
+}
+
+/// Little-endian section reader over a checksum-verified payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// End of the checksummed payload (exclusive of the trailing digest).
+    end: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Verifies magic, version, and checksum, leaving the cursor at the
+    /// first payload section.
+    fn new(buf: &'a [u8]) -> Result<Self, RomError> {
+        if buf.len() < MAGIC.len() {
+            return Err(RomError::Truncated {
+                while_reading: "magic",
+            });
+        }
+        if buf[..MAGIC.len()] != MAGIC {
+            return Err(RomError::BadMagic);
+        }
+        if buf.len() < MAGIC.len() + 4 {
+            return Err(RomError::Truncated {
+                while_reading: "format version",
+            });
+        }
+        let version = u32::from_le_bytes(buf[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(RomError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if buf.len() < MAGIC.len() + 4 + 8 {
+            return Err(RomError::Truncated {
+                while_reading: "checksum",
+            });
+        }
+        let end = buf.len() - 8;
+        let stored = u64::from_le_bytes(buf[end..].try_into().unwrap());
+        if fnv1a(&buf[..end]) != stored {
+            return Err(RomError::Corrupt("checksum mismatch"));
+        }
+        Ok(Reader {
+            buf,
+            pos: MAGIC.len() + 4,
+            end,
+        })
+    }
+
+    fn take(&mut self, n: usize, while_reading: &'static str) -> Result<&'a [u8], RomError> {
+        if self.pos + n > self.end {
+            return Err(RomError::Truncated { while_reading });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, RomError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, RomError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, RomError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a section length, bounding it by the bytes actually left so
+    /// a corrupt length cannot trigger a huge allocation.
+    fn len(&mut self, what: &'static str, elem_bytes: usize) -> Result<usize, RomError> {
+        let n = self.u64(what)?;
+        let remaining = (self.end - self.pos) as u64;
+        if n.saturating_mul(elem_bytes as u64) > remaining {
+            return Err(RomError::Truncated {
+                while_reading: what,
+            });
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, RomError> {
+        let n = self.len(what, 1)?;
+        String::from_utf8(self.take(n, what)?.to_vec())
+            .map_err(|_| RomError::Corrupt("string not valid UTF-8"))
+    }
+
+    fn u64s(&mut self, what: &'static str) -> Result<Vec<u64>, RomError> {
+        let n = self.len(what, 8)?;
+        (0..n).map(|_| self.u64(what)).collect()
+    }
+
+    fn usizes(&mut self, what: &'static str) -> Result<Vec<usize>, RomError> {
+        Ok(self.u64s(what)?.into_iter().map(|v| v as usize).collect())
+    }
+
+    fn matrix(&mut self, what: &'static str) -> Result<Matrix, RomError> {
+        let nrows = self.u64(what)? as usize;
+        let ncols = self.u64(what)? as usize;
+        let total = nrows
+            .checked_mul(ncols)
+            .ok_or(RomError::Corrupt("matrix extent overflow"))?;
+        if total.saturating_mul(8) > self.end - self.pos {
+            return Err(RomError::Truncated {
+                while_reading: what,
+            });
+        }
+        let data: Vec<f64> = (0..total)
+            .map(|_| self.f64(what))
+            .collect::<Result<_, _>>()?;
+        Matrix::from_vec(nrows, ncols, data)
+            .map_err(|_| RomError::Corrupt("matrix extents inconsistent"))
+    }
+
+    /// The payload must be fully consumed — leftovers mean the writer and
+    /// reader disagree about the layout.
+    fn finish(self) -> Result<(), RomError> {
+        if self.pos != self.end {
+            return Err(RomError::Corrupt("trailing bytes after last section"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_artifact() -> RomArtifact {
+        RomArtifact {
+            block_sizes: vec![2, 2],
+            block_dims: vec![1, 2],
+            state_order: vec![0, 1, 2, 3],
+            partition: Partition {
+                block_of_node: vec![0, 0, 1, 1],
+                blocks: vec![vec![0, 1], vec![2, 3]],
+                interface: vec![1, 2],
+            },
+            interface_states: vec![1, 2],
+            interface_map: vec![(1, 0), (2, 1)],
+            g: Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64 * 0.25 - 1.0),
+            c: Matrix::from_fn(3, 3, |i, j| if i == j { 1e-3 } else { -0.0 }),
+            b: Matrix::from_fn(3, 2, |i, j| (i + j) as f64),
+            l: Matrix::from_fn(2, 3, |i, j| i as f64 - j as f64),
+            provenance: Provenance {
+                engine_version: "0.1.0".into(),
+                shifts: vec![ExpansionPoint::Real(0.5), ExpansionPoint::Jomega(450.0)],
+                basis_cols: 7,
+                certified: true,
+                residual_trajectory: vec![1e-2, 3.5e-5, 9.9e-8],
+                backend: SolverBackend::Sparse,
+                interface_policy: InterfacePolicy::Exact,
+            },
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_bitwise() {
+        // -0.0 in C exercises the bit-pattern (not value) equality.
+        let a = tiny_artifact();
+        let back = RomArtifact::from_bytes(&a.to_bytes()).unwrap();
+        assert!(a.bitwise_eq(&back));
+        assert_eq!(a, back);
+        assert_eq!(back.c[(0, 1)].to_bits(), (-0.0_f64).to_bits());
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = tiny_artifact().to_bytes();
+        bytes[8] = FORMAT_VERSION as u8 + 1;
+        assert!(matches!(
+            RomArtifact::from_bytes(&bytes),
+            Err(RomError::UnsupportedVersion { found, supported })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_typed() {
+        let bytes = tiny_artifact().to_bytes();
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            RomArtifact::from_bytes(&wrong),
+            Err(RomError::BadMagic)
+        ));
+        // Every proper prefix must fail loudly, never panic.
+        for cut in [0, 4, MAGIC.len() + 2, MAGIC.len() + 4, bytes.len() / 2] {
+            assert!(
+                RomArtifact::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_trips_the_checksum() {
+        let mut bytes = tiny_artifact().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            RomArtifact::from_bytes(&bytes),
+            Err(RomError::Corrupt("checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn json_dump_names_the_structure() {
+        let j = tiny_artifact().to_json();
+        for needle in [
+            "\"format_version\": 1",
+            "\"reduced_dim\": 3",
+            "\"interface_map\": [[1, 0], [2, 1]]",
+            "\"certified\": true",
+            "\"jomega\"",
+        ] {
+            assert!(j.contains(needle), "JSON dump missing {needle}:\n{j}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bdsm_rom_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.rom");
+        let a = tiny_artifact();
+        a.save(&path).unwrap();
+        let back = RomArtifact::load(&path).unwrap();
+        assert!(a.bitwise_eq(&back));
+        a.save_json(dir.join("tiny.json")).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

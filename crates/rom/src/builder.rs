@@ -1,0 +1,529 @@
+//! The builder-style front door of the reduction pipeline.
+//!
+//! [`Reducer`] subsumes the sprawling `ReductionOpts` / `KrylovOpts`
+//! literals of the engine layer behind a typed builder that validates the
+//! whole configuration **at build time**: every inconsistency the engine
+//! would surface mid-pipeline (or an example would turn into a panic) is a
+//! [`BuildError`] from [`ReducerBuilder::build`] instead. A built
+//! [`Reducer`] is immutable and reusable — reduce any number of networks
+//! with it, or go straight to a persistable artifact with
+//! [`Reducer::reduce_to_artifact`].
+
+use crate::artifact::{RomArtifact, RomError};
+use bdsm_circuit::Network;
+use bdsm_core::engine::{AdaptiveShiftOpts, EngineReport, ShiftStrategy};
+use bdsm_core::krylov::KrylovOpts;
+use bdsm_core::projector::InterfacePolicy;
+use bdsm_core::reduce::{
+    self, ReducedModel, ReductionOpts, Result as CoreResult, SolverBackend, StageTimings,
+};
+use std::fmt;
+
+/// A validated reduction configuration: the typed, high-level entry point
+/// of the BDSM pipeline. Construct with [`Reducer::builder`].
+///
+/// ```
+/// use bdsm_rom::Reducer;
+/// use bdsm_core::synth::rc_grid;
+///
+/// let reducer = Reducer::builder()
+///     .blocks(4)
+///     .jomega_shifts(&[5.0e2, 2.0e3])
+///     .moments(2)
+///     .sparse()
+///     .build()?;
+/// let rm = reducer.reduce(&rc_grid(8, 10, 1.0, 1e-3, 2.0))?;
+/// assert!(rm.reduced_dim() < rm.full_dim());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reducer {
+    opts: ReductionOpts,
+}
+
+/// Typed configuration errors surfaced by [`ReducerBuilder::build`] —
+/// everything that used to reach callers as an engine-level
+/// `InvalidOptions` (or a panic in example code) is caught here, before
+/// any factorization work starts.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The partition must have at least one block.
+    ZeroBlocks,
+    /// At least one block moment must be matched per expansion point.
+    ZeroMoments,
+    /// The fixed shift strategy needs at least one expansion point (the
+    /// adaptive strategy seeds itself from its candidate grid).
+    NoShifts,
+    /// An expansion point is NaN or infinite.
+    NonFiniteShift {
+        /// The offending value.
+        value: f64,
+    },
+    /// A tolerance that must be positive and finite is not.
+    InvalidTolerance {
+        /// Which tolerance.
+        what: &'static str,
+    },
+    /// The reduced-dimension budget cannot hold one state per block.
+    BudgetBelowBlocks {
+        /// The requested budget.
+        budget: usize,
+        /// The requested block count.
+        blocks: usize,
+    },
+    /// An inconsistency in the adaptive greedy configuration.
+    Adaptive {
+        /// What is wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroBlocks => write!(f, "reducer: need at least one partition block"),
+            BuildError::ZeroMoments => {
+                write!(f, "reducer: need at least one moment per expansion point")
+            }
+            BuildError::NoShifts => write!(
+                f,
+                "reducer: fixed strategy needs at least one expansion point \
+                 (real or jω); use adaptive() to let the engine choose"
+            ),
+            BuildError::NonFiniteShift { value } => {
+                write!(f, "reducer: expansion point {value} is not finite")
+            }
+            BuildError::InvalidTolerance { what } => {
+                write!(f, "reducer: {what} must be positive and finite")
+            }
+            BuildError::BudgetBelowBlocks { budget, blocks } => write!(
+                f,
+                "reducer: budget {budget} cannot hold one state for each of {blocks} blocks"
+            ),
+            BuildError::Adaptive { what } => write!(f, "reducer: adaptive {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl Reducer {
+    /// Starts a builder with the defaults: 4 blocks, 2 moments per point,
+    /// sparse backend, fixed shifts (none yet — the build fails until
+    /// shifts are given or [`ReducerBuilder::adaptive`] is selected),
+    /// folded interfaces, `1e-12` rank and deflation tolerances.
+    pub fn builder() -> ReducerBuilder {
+        ReducerBuilder::default()
+    }
+
+    /// Wraps already-assembled low-level [`ReductionOpts`], running the
+    /// same validation as the builder — the bridge for callers migrating
+    /// from the engine-layer literals.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReducerBuilder::build`].
+    pub fn from_opts(opts: ReductionOpts) -> Result<Reducer, BuildError> {
+        validate(&opts)?;
+        Ok(Reducer { opts })
+    }
+
+    /// The validated engine options this reducer runs with.
+    pub fn opts(&self) -> &ReductionOpts {
+        &self.opts
+    }
+
+    /// Runs the reduction pipeline on a network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures (assembly, partitioning, singular
+    /// shifted factorizations); configuration errors were already caught
+    /// at build time.
+    pub fn reduce(&self, net: &Network) -> CoreResult<ReducedModel> {
+        reduce::reduce_network(net, &self.opts)
+    }
+
+    /// [`reduce`](Self::reduce) with the per-stage wall-clock breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`reduce`](Self::reduce).
+    pub fn reduce_timed(&self, net: &Network) -> CoreResult<(ReducedModel, StageTimings)> {
+        reduce::reduce_network_timed(net, &self.opts)
+    }
+
+    /// [`reduce`](Self::reduce) with the engine's audit report (final
+    /// shifts, residual trajectory, certification flag).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`reduce`](Self::reduce).
+    pub fn reduce_with_report(&self, net: &Network) -> CoreResult<(ReducedModel, EngineReport)> {
+        reduce::reduce_network_with_report(net, &self.opts)
+    }
+
+    /// Builds the network's ROM and captures it — reduced system, block
+    /// structure, interface map, and full provenance — as a persistable
+    /// [`RomArtifact`]: the build-once → save → serve entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures as [`RomError::Core`].
+    pub fn reduce_to_artifact(&self, net: &Network) -> Result<RomArtifact, RomError> {
+        let (rm, report) = self.reduce_with_report(net)?;
+        let mut artifact = RomArtifact::from_model(&rm, Some(&report));
+        // `from_model` can only infer the policy from the interface map;
+        // here the configured policy is in hand, so record it exactly
+        // (an Exact build of an interface-free partition would otherwise
+        // be mislabelled Folded in the provenance).
+        artifact.provenance.interface_policy = self.opts.interface_policy;
+        Ok(artifact)
+    }
+}
+
+/// Builder for [`Reducer`]; every setter is chainable and the final
+/// [`build`](Self::build) validates the whole configuration at once.
+#[derive(Debug, Clone)]
+pub struct ReducerBuilder {
+    opts: ReductionOpts,
+}
+
+impl Default for ReducerBuilder {
+    fn default() -> Self {
+        ReducerBuilder {
+            opts: ReductionOpts {
+                num_blocks: 4,
+                krylov: KrylovOpts {
+                    expansion_points: Vec::new(),
+                    jomega_points: Vec::new(),
+                    moments_per_point: 2,
+                    deflation_tol: 1e-12,
+                },
+                rank_tol: 1e-12,
+                max_reduced_dim: None,
+                backend: SolverBackend::Sparse,
+                shift_strategy: ShiftStrategy::Fixed,
+                interface_policy: InterfacePolicy::Folded,
+            },
+        }
+    }
+}
+
+impl ReducerBuilder {
+    /// Number of partition blocks `k`.
+    #[must_use]
+    pub fn blocks(mut self, k: usize) -> Self {
+        self.opts.num_blocks = k;
+        self
+    }
+
+    /// Real expansion points `s₀` (replaces any previously set).
+    #[must_use]
+    pub fn real_shifts(mut self, points: &[f64]) -> Self {
+        self.opts.krylov.expansion_points = points.to_vec();
+        self
+    }
+
+    /// Imaginary-axis expansion points `s₀ = jω₀`, as angular frequencies
+    /// (replaces any previously set). Under [`adaptive`](Self::adaptive)
+    /// these form the coarse initial set the greedy loop grows from.
+    #[must_use]
+    pub fn jomega_shifts(mut self, omegas: &[f64]) -> Self {
+        self.opts.krylov.jomega_points = omegas.to_vec();
+        self
+    }
+
+    /// Block moments matched per expansion point.
+    #[must_use]
+    pub fn moments(mut self, per_point: usize) -> Self {
+        self.opts.krylov.moments_per_point = per_point;
+        self
+    }
+
+    /// Relative norm threshold for deflating dependent Krylov directions.
+    #[must_use]
+    pub fn deflation_tol(mut self, tol: f64) -> Self {
+        self.opts.krylov.deflation_tol = tol;
+        self
+    }
+
+    /// Relative singular-value threshold for per-block rank truncation.
+    #[must_use]
+    pub fn rank_tol(mut self, tol: f64) -> Self {
+        self.opts.rank_tol = tol;
+        self
+    }
+
+    /// Total reduced-dimension budget `q_max` (per-block cap `q_max / k`;
+    /// under exact interfaces the cap applies to the appended Krylov
+    /// directions only).
+    #[must_use]
+    pub fn budget(mut self, q_max: usize) -> Self {
+        self.opts.max_reduced_dim = Some(q_max);
+        self
+    }
+
+    /// Removes the reduced-dimension budget (the default).
+    #[must_use]
+    pub fn unbudgeted(mut self) -> Self {
+        self.opts.max_reduced_dim = None;
+        self
+    }
+
+    /// Sparse factorization backend (the default; the only route past
+    /// `n ≈ 10³`).
+    #[must_use]
+    pub fn sparse(mut self) -> Self {
+        self.opts.backend = SolverBackend::Sparse;
+        self
+    }
+
+    /// Dense oracle backend (verification only).
+    #[must_use]
+    pub fn dense(mut self) -> Self {
+        self.opts.backend = SolverBackend::Dense;
+        self
+    }
+
+    /// Adaptive greedy shift selection: the engine grows the shift set
+    /// from the configured points (or the grid's geometric middle when
+    /// none are given), promoting worst-residual candidates until `tol`
+    /// or the shift budget is reached.
+    #[must_use]
+    pub fn adaptive(mut self, opts: AdaptiveShiftOpts) -> Self {
+        self.opts.shift_strategy = ShiftStrategy::Adaptive(opts);
+        self
+    }
+
+    /// Fixed expansion points (the default): the configured shifts are
+    /// used verbatim.
+    #[must_use]
+    pub fn fixed_shifts(mut self) -> Self {
+        self.opts.shift_strategy = ShiftStrategy::Fixed;
+        self
+    }
+
+    /// Preserve interface-bus voltages exactly: identity columns on the
+    /// boundary rows, and the ROM state carries each boundary voltage
+    /// verbatim ([`RomArtifact::interface_map`] names the coordinates).
+    #[must_use]
+    pub fn exact_interfaces(mut self) -> Self {
+        self.opts.interface_policy = InterfacePolicy::Exact;
+        self
+    }
+
+    /// Fold interface states into the block SVD bases (the default).
+    #[must_use]
+    pub fn folded_interfaces(mut self) -> Self {
+        self.opts.interface_policy = InterfacePolicy::Folded;
+        self
+    }
+
+    /// Validates the configuration and produces the immutable [`Reducer`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`BuildError`] variant; see each for the rule it enforces.
+    pub fn build(self) -> Result<Reducer, BuildError> {
+        validate(&self.opts)?;
+        Ok(Reducer { opts: self.opts })
+    }
+}
+
+/// The one validation routine behind [`ReducerBuilder::build`] and
+/// [`Reducer::from_opts`].
+fn validate(opts: &ReductionOpts) -> Result<(), BuildError> {
+    if opts.num_blocks == 0 {
+        return Err(BuildError::ZeroBlocks);
+    }
+    if opts.krylov.moments_per_point == 0 {
+        return Err(BuildError::ZeroMoments);
+    }
+    for &s in opts
+        .krylov
+        .expansion_points
+        .iter()
+        .chain(&opts.krylov.jomega_points)
+    {
+        if !s.is_finite() {
+            return Err(BuildError::NonFiniteShift { value: s });
+        }
+    }
+    if !(opts.rank_tol > 0.0 && opts.rank_tol.is_finite()) {
+        return Err(BuildError::InvalidTolerance { what: "rank_tol" });
+    }
+    if !(opts.krylov.deflation_tol > 0.0 && opts.krylov.deflation_tol.is_finite()) {
+        return Err(BuildError::InvalidTolerance {
+            what: "deflation_tol",
+        });
+    }
+    if let Some(budget) = opts.max_reduced_dim {
+        if budget < opts.num_blocks {
+            return Err(BuildError::BudgetBelowBlocks {
+                budget,
+                blocks: opts.num_blocks,
+            });
+        }
+    }
+    let have_points =
+        !(opts.krylov.expansion_points.is_empty() && opts.krylov.jomega_points.is_empty());
+    match &opts.shift_strategy {
+        ShiftStrategy::Fixed => {
+            if !have_points {
+                return Err(BuildError::NoShifts);
+            }
+        }
+        ShiftStrategy::Adaptive(a) => {
+            if a.candidate_omegas.is_empty() {
+                return Err(BuildError::Adaptive {
+                    what: "candidate frequency grid is empty",
+                });
+            }
+            if a.candidate_omegas.iter().any(|w| !w.is_finite()) {
+                return Err(BuildError::Adaptive {
+                    what: "candidate frequency grid contains a non-finite value",
+                });
+            }
+            if !(a.tol > 0.0 && a.tol.is_finite()) {
+                return Err(BuildError::Adaptive {
+                    what: "residual tolerance must be positive and finite",
+                });
+            }
+            if a.max_shifts == 0 {
+                return Err(BuildError::Adaptive {
+                    what: "shift budget must be at least 1",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_fails_without_shifts() {
+        assert_eq!(
+            Reducer::builder().build().unwrap_err(),
+            BuildError::NoShifts
+        );
+    }
+
+    #[test]
+    fn every_validation_rule_fires() {
+        let base = || Reducer::builder().jomega_shifts(&[1.0e2]);
+        assert_eq!(
+            base().blocks(0).build().unwrap_err(),
+            BuildError::ZeroBlocks
+        );
+        assert_eq!(
+            base().moments(0).build().unwrap_err(),
+            BuildError::ZeroMoments
+        );
+        assert!(matches!(
+            base().real_shifts(&[f64::NAN]).build().unwrap_err(),
+            BuildError::NonFiniteShift { .. }
+        ));
+        assert_eq!(
+            base().rank_tol(0.0).build().unwrap_err(),
+            BuildError::InvalidTolerance { what: "rank_tol" }
+        );
+        assert_eq!(
+            base().deflation_tol(f64::INFINITY).build().unwrap_err(),
+            BuildError::InvalidTolerance {
+                what: "deflation_tol"
+            }
+        );
+        assert_eq!(
+            base().blocks(6).budget(5).build().unwrap_err(),
+            BuildError::BudgetBelowBlocks {
+                budget: 5,
+                blocks: 6
+            }
+        );
+        let bad_adaptive = |a: AdaptiveShiftOpts| {
+            Reducer::builder()
+                .adaptive(a)
+                .build()
+                .expect_err("adaptive config must be rejected")
+        };
+        assert!(matches!(
+            bad_adaptive(AdaptiveShiftOpts {
+                candidate_omegas: vec![],
+                ..AdaptiveShiftOpts::default()
+            }),
+            BuildError::Adaptive { .. }
+        ));
+        assert!(matches!(
+            bad_adaptive(AdaptiveShiftOpts {
+                tol: -1.0,
+                ..AdaptiveShiftOpts::default()
+            }),
+            BuildError::Adaptive { .. }
+        ));
+        assert!(matches!(
+            bad_adaptive(AdaptiveShiftOpts {
+                max_shifts: 0,
+                ..AdaptiveShiftOpts::default()
+            }),
+            BuildError::Adaptive { .. }
+        ));
+    }
+
+    #[test]
+    fn adaptive_without_explicit_shifts_builds() {
+        // The greedy loop self-seeds from the candidate grid.
+        let r = Reducer::builder()
+            .adaptive(AdaptiveShiftOpts::default())
+            .exact_interfaces()
+            .build()
+            .unwrap();
+        assert!(matches!(
+            r.opts().shift_strategy,
+            ShiftStrategy::Adaptive(_)
+        ));
+        assert_eq!(r.opts().interface_policy, InterfacePolicy::Exact);
+    }
+
+    #[test]
+    fn from_opts_validates_like_the_builder() {
+        let mut opts = ReductionOpts::default();
+        opts.krylov.expansion_points.clear();
+        assert_eq!(Reducer::from_opts(opts).unwrap_err(), BuildError::NoShifts);
+        let ok = Reducer::from_opts(ReductionOpts::default()).unwrap();
+        assert_eq!(ok.opts().num_blocks, 4);
+    }
+
+    #[test]
+    fn artifact_records_configured_policy_even_without_interfaces() {
+        // A single-block partition has no interface buses, so the map is
+        // empty — but the provenance must still say Exact was configured.
+        use bdsm_core::projector::InterfacePolicy;
+        let net = bdsm_core::synth::rc_ladder(12, 1.0, 1e-3, 2.0);
+        let artifact = Reducer::builder()
+            .blocks(1)
+            .jomega_shifts(&[1.0e3])
+            .exact_interfaces()
+            .build()
+            .unwrap()
+            .reduce_to_artifact(&net)
+            .unwrap();
+        assert!(artifact.interface_map.is_empty());
+        assert_eq!(artifact.provenance.interface_policy, InterfacePolicy::Exact);
+    }
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        assert!(BuildError::NoShifts.to_string().contains("expansion point"));
+        assert!(BuildError::BudgetBelowBlocks {
+            budget: 2,
+            blocks: 3
+        }
+        .to_string()
+        .contains("budget 2"));
+    }
+}

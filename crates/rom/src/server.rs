@@ -1,0 +1,340 @@
+//! The concurrent ROM query layer: load artifacts once, answer many
+//! frequency- and time-domain queries cheaply.
+//!
+//! [`RomServer`] is a thread-safe handle over one or more loaded
+//! [`RomArtifact`]s. Per model it keeps a **shift cache**: the dense
+//! complex LU of `G_r + sC_r` at each queried shift, so a 64-frequency
+//! sweep factors each frequency once ever, and repeated batches at the
+//! same operating points are pure triangular solves. Batched queries fan
+//! out over the [`bdsm_core::par`] substrate and inherit its determinism
+//! contract: results are **bitwise-identical for any `BDSM_THREADS`**, and
+//! — because cached and fresh factorizations run the very same
+//! [`eval_transfer_factored`] code path — bitwise-identical to evaluating
+//! the freshly built model.
+//!
+//! Loading (`&mut self`) is separated from serving (`&self`): share the
+//! server behind an `Arc` and any number of threads can query it
+//! concurrently while each batch also parallelizes internally.
+
+use crate::artifact::{RomArtifact, RomError};
+use bdsm_core::par;
+use bdsm_core::transfer::{eval_transfer_factored, CMatrix, ZLu};
+use bdsm_linalg::Complex64;
+use bdsm_sim::TransientSolver;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Handle to one loaded model inside a [`RomServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RomId(usize);
+
+impl RomId {
+    /// The raw slot index (stable for the server's lifetime).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One loaded artifact plus its per-shift factorization cache, keyed by
+/// the shift's bit pattern (so `jω` and any complex shift cache alike).
+struct ServedRom {
+    artifact: RomArtifact,
+    cache: Mutex<HashMap<(u64, u64), Arc<ZLu>>>,
+}
+
+impl ServedRom {
+    /// The cached factorization of `G_r + sC_r`, computing and inserting
+    /// it on first use. Two workers racing on the same fresh shift both
+    /// factor — identical, pure results — and the first insert wins.
+    fn factored(&self, s: Complex64) -> Result<Arc<ZLu>, RomError> {
+        let key = (s.re.to_bits(), s.im.to_bits());
+        if let Some(lu) = self.cache.lock().expect("cache lock").get(&key) {
+            return Ok(Arc::clone(lu));
+        }
+        let lu = Arc::new(ZLu::factor_shifted(&self.artifact.g, &self.artifact.c, s)?);
+        let mut cache = self.cache.lock().expect("cache lock");
+        Ok(Arc::clone(cache.entry(key).or_insert(lu)))
+    }
+
+    /// One transfer sample `H(s)` through the cache — the exact
+    /// [`eval_transfer_factored`] path a fresh evaluation takes.
+    fn eval(&self, s: Complex64) -> Result<CMatrix, RomError> {
+        let lu = self.factored(s)?;
+        Ok(eval_transfer_factored(
+            &lu,
+            &self.artifact.b,
+            &self.artifact.l,
+        )?)
+    }
+}
+
+/// Thread-safe, multi-model ROM query server. See the module docs for the
+/// caching and determinism contract.
+#[derive(Default)]
+pub struct RomServer {
+    models: Vec<ServedRom>,
+}
+
+impl RomServer {
+    /// An empty server; load models with
+    /// [`load_artifact`](Self::load_artifact) / [`load_file`](Self::load_file).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an in-memory artifact, returning its handle.
+    pub fn load_artifact(&mut self, artifact: RomArtifact) -> RomId {
+        self.models.push(ServedRom {
+            artifact,
+            cache: Mutex::new(HashMap::new()),
+        });
+        RomId(self.models.len() - 1)
+    }
+
+    /// Loads a binary artifact file and registers it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RomArtifact::load`] failures.
+    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<RomId, RomError> {
+        Ok(self.load_artifact(RomArtifact::load(path)?))
+    }
+
+    /// Number of loaded models.
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The artifact behind a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::UnknownModel`] for a stale or foreign id.
+    pub fn artifact(&self, id: RomId) -> Result<&RomArtifact, RomError> {
+        self.models
+            .get(id.0)
+            .map(|m| &m.artifact)
+            .ok_or(RomError::UnknownModel(id.0))
+    }
+
+    fn served(&self, id: RomId) -> Result<&ServedRom, RomError> {
+        self.models.get(id.0).ok_or(RomError::UnknownModel(id.0))
+    }
+
+    /// Distinct shifts currently cached for a model.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::UnknownModel`] for a stale or foreign id.
+    pub fn cached_shifts(&self, id: RomId) -> Result<usize, RomError> {
+        Ok(self.served(id)?.cache.lock().expect("cache lock").len())
+    }
+
+    /// Evaluates the full `p × m` transfer matrix `H(jω)` at every listed
+    /// angular frequency, fanning the samples out over workers. First
+    /// contact with a frequency factors and caches it; subsequent batches
+    /// reuse the factors.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::UnknownModel`], or the first per-frequency failure in
+    /// frequency order (e.g. a query hitting a pole).
+    pub fn transfer_sweep(&self, id: RomId, omegas: &[f64]) -> Result<Vec<CMatrix>, RomError> {
+        let served = self.served(id)?;
+        par::parallel_map(omegas, |_, &w| served.eval(Complex64::jomega(w)))
+            .into_iter()
+            .collect()
+    }
+
+    /// One output/input port pair's response `H[out, in](jω)` over a
+    /// frequency batch — the narrow query shape of dashboard-style
+    /// consumers. Runs on the same factorization cache as
+    /// [`transfer_sweep`](Self::transfer_sweep) but solves only the
+    /// queried input column and contracts only the queried output row,
+    /// so a sample costs one triangular solve instead of `m`. The entry
+    /// is computed with exactly the operations
+    /// [`transfer_sweep`](Self::transfer_sweep) would perform for it, so
+    /// the two queries agree bitwise.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::Query`] for an out-of-range port, otherwise as
+    /// [`transfer_sweep`](Self::transfer_sweep).
+    pub fn port_response(
+        &self,
+        id: RomId,
+        out_port: usize,
+        in_port: usize,
+        omegas: &[f64],
+    ) -> Result<Vec<Complex64>, RomError> {
+        let served = self.served(id)?;
+        let a = &served.artifact;
+        if out_port >= a.num_outputs() {
+            return Err(RomError::Query("output port out of range"));
+        }
+        if in_port >= a.num_inputs() {
+            return Err(RomError::Query("input port out of range"));
+        }
+        let b_col = a.b.col(in_port);
+        par::parallel_map(omegas, |_, &w| -> Result<Complex64, RomError> {
+            let lu = served.factored(Complex64::jomega(w))?;
+            // One column solve + one row contraction, in the same
+            // operation order as `eval_transfer_factored`'s (i, j) entry.
+            let x = lu.solve_real(&b_col)?;
+            let mut acc = Complex64::ZERO;
+            for (lv, xv) in a.l.row(out_port).iter().zip(&x) {
+                acc += *xv * *lv;
+            }
+            Ok(acc)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs one backward-Euler transient over the served ROM: `inputs`
+    /// holds the input vector `u⁺` of every step. The left-hand side is
+    /// factored once per call.
+    ///
+    /// # Errors
+    ///
+    /// [`RomError::UnknownModel`] / [`RomError::Query`] on a bad request,
+    /// [`RomError::Linalg`] when the step system cannot be factored or an
+    /// input has the wrong width.
+    pub fn transient(
+        &self,
+        id: RomId,
+        h: f64,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, RomError> {
+        let a = self.artifact(id)?;
+        let mut solver = TransientSolver::new(&a.g, &a.c, &a.b, &a.l, h)?;
+        Ok(solver.run_series(inputs)?)
+    }
+
+    /// A batch of independent transients (one input waveform each), fanned
+    /// out over workers. The step system is factored **once** and each
+    /// worker drives a reset clone, so a batch of `W` waveforms costs one
+    /// factorization plus `W` triangular-solve streams.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`transient`](Self::transient); the first failing waveform
+    /// (in batch order) is reported.
+    pub fn transient_batch(
+        &self,
+        id: RomId,
+        h: f64,
+        waveforms: &[Vec<Vec<f64>>],
+    ) -> Result<Vec<Vec<Vec<f64>>>, RomError> {
+        let a = self.artifact(id)?;
+        if waveforms.is_empty() {
+            return Err(RomError::Query("empty transient batch"));
+        }
+        let proto = TransientSolver::new(&a.g, &a.c, &a.b, &a.l, h)?;
+        par::parallel_map_with(
+            waveforms,
+            || proto.clone(),
+            |solver, _, w| {
+                solver.reset();
+                solver.run_series(w).map_err(RomError::from)
+            },
+        )
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reducer;
+    use bdsm_core::synth::rc_grid;
+    use bdsm_core::transfer::eval_transfer;
+
+    fn grid_artifact() -> (bdsm_core::ReducedModel, RomArtifact) {
+        let net = rc_grid(6, 8, 1.0, 1e-3, 2.0);
+        let reducer = Reducer::builder()
+            .blocks(3)
+            .jomega_shifts(&[5.0e2, 2.0e3])
+            .build()
+            .unwrap();
+        let (rm, report) = reducer.reduce_with_report(&net).unwrap();
+        let artifact = RomArtifact::from_model(&rm, Some(&report));
+        (rm, artifact)
+    }
+
+    #[test]
+    fn sweep_matches_fresh_model_bitwise_and_caches() {
+        let (rm, artifact) = grid_artifact();
+        let mut server = RomServer::new();
+        let id = server.load_artifact(artifact);
+        let omegas: Vec<f64> = (0..16).map(|i| 40.0 * 1.5_f64.powi(i)).collect();
+        let sweep = server.transfer_sweep(id, &omegas).unwrap();
+        for (k, &w) in omegas.iter().enumerate() {
+            let fresh = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, Complex64::jomega(w)).unwrap();
+            assert_eq!(sweep[k], fresh, "served sample at ω={w} differs");
+        }
+        assert_eq!(server.cached_shifts(id).unwrap(), omegas.len());
+        // A second batch reuses every factorization and reproduces itself.
+        let again = server.transfer_sweep(id, &omegas).unwrap();
+        assert_eq!(again, sweep);
+        assert_eq!(server.cached_shifts(id).unwrap(), omegas.len());
+    }
+
+    #[test]
+    fn port_response_extracts_the_sweep_entry() {
+        let (_, artifact) = grid_artifact();
+        let mut server = RomServer::new();
+        let id = server.load_artifact(artifact);
+        let omegas = [100.0, 1000.0];
+        let sweep = server.transfer_sweep(id, &omegas).unwrap();
+        let h01 = server.port_response(id, 0, 1, &omegas).unwrap();
+        for k in 0..omegas.len() {
+            assert_eq!(h01[k], sweep[k][(0, 1)]);
+        }
+        assert!(matches!(
+            server.port_response(id, 9, 0, &omegas),
+            Err(RomError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn transient_matches_direct_solver_and_batches() {
+        let (rm, artifact) = grid_artifact();
+        let mut server = RomServer::new();
+        let id = server.load_artifact(artifact);
+        let h = 1e-4;
+        let m = rm.b.ncols();
+        let wave: Vec<Vec<f64>> = (0..50).map(|_| vec![1.0; m]).collect();
+        let served = server.transient(id, h, &wave).unwrap();
+        let mut direct = TransientSolver::new(&rm.g, &rm.c, &rm.b, &rm.l, h).unwrap();
+        assert_eq!(served, direct.run_series(&wave).unwrap());
+        // Batch: every waveform equals its standalone run.
+        let wave2: Vec<Vec<f64>> = (0..50).map(|s| vec![(0.2 * s as f64).sin(); m]).collect();
+        let batch = server
+            .transient_batch(id, h, &[wave.clone(), wave2.clone()])
+            .unwrap();
+        assert_eq!(batch[0], served);
+        assert_eq!(batch[1], server.transient(id, h, &wave2).unwrap());
+        assert!(matches!(
+            server.transient_batch(id, h, &[]),
+            Err(RomError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_model_is_typed() {
+        let server = RomServer::new();
+        assert!(matches!(
+            server.transfer_sweep(RomId(3), &[1.0]),
+            Err(RomError::UnknownModel(3))
+        ));
+        let (_, artifact) = grid_artifact();
+        let mut server = RomServer::new();
+        let id = server.load_artifact(artifact);
+        assert_eq!(id.index(), 0);
+        assert_eq!(server.num_models(), 1);
+        assert!(server.artifact(id).is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! Scale acceptance for the serve path: a 10,000-state grid reduced in
+//! the headline mode (adaptive greedy shifts + exact interfaces), its
+//! artifact round-tripped bitwise, and a 64-frequency `RomServer` sweep
+//! over the **loaded** artifact matching the freshly built model bit for
+//! bit under `BDSM_THREADS` ∈ {1, 2, 5}.
+//!
+//! This file holds a single test because it manipulates `BDSM_THREADS`;
+//! keeping it alone in its binary avoids env races with sibling tests.
+
+use bdsm_core::engine::AdaptiveShiftOpts;
+use bdsm_core::synth::rc_grid;
+use bdsm_core::transfer::eval_transfer;
+use bdsm_linalg::Complex64;
+use bdsm_rom::{Reducer, RomArtifact, RomServer};
+
+#[test]
+fn adaptive_exact_10k_artifact_roundtrips_and_serves_bitwise() {
+    // 100 × 100 RC mesh → 10,000 states; same headline configuration as
+    // the engine's adaptive acceptance test, built through the v1 API.
+    let net = rc_grid(100, 100, 1.0, 1e-3, 2.0);
+    let reducer = Reducer::builder()
+        .blocks(4)
+        .jomega_shifts(&[4.5e2])
+        .moments(2)
+        .budget(2000)
+        .adaptive(AdaptiveShiftOpts {
+            candidate_omegas: AdaptiveShiftOpts::log_grid(5.0e1, 4.0e3, 6),
+            tol: 1e-6,
+            max_shifts: 4,
+        })
+        .exact_interfaces()
+        .sparse()
+        .build()
+        .expect("valid reducer");
+    let (rm, report) = reducer.reduce_with_report(&net).expect("10k reduction");
+    assert_eq!(rm.full_dim(), 10_000);
+    assert!(report.certified, "adaptive loop did not certify");
+
+    // Bitwise artifact round-trip through bytes and through a file.
+    let artifact = RomArtifact::from_model(&rm, Some(&report));
+    assert!(!artifact.interface_map.is_empty());
+    let path = std::env::temp_dir().join("bdsm_serve_10k.rom");
+    artifact.save(&path).expect("save artifact");
+    let loaded = RomArtifact::load(&path).expect("load artifact");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        artifact.bitwise_eq(&loaded),
+        "10k adaptive+exact artifact round-trip is not bitwise"
+    );
+
+    // 64-frequency sweep over the loaded artifact, under three worker
+    // counts: every batch must be byte-identical, and equal to fresh
+    // evaluations of the pre-save model.
+    let omegas: Vec<f64> = (0..64)
+        .map(|i| 50.0 * (4.0e3_f64 / 50.0).powf(i as f64 / 63.0))
+        .collect();
+    let mut server = RomServer::new();
+    let id = server.load_artifact(loaded);
+
+    let prev = std::env::var("BDSM_THREADS").ok();
+    let mut sweeps = Vec::new();
+    for threads in ["1", "2", "5"] {
+        std::env::set_var("BDSM_THREADS", threads);
+        sweeps.push((threads, server.transfer_sweep(id, &omegas).expect("sweep")));
+    }
+    match prev {
+        Some(v) => std::env::set_var("BDSM_THREADS", v),
+        None => std::env::remove_var("BDSM_THREADS"),
+    }
+    let (_, reference) = &sweeps[0];
+    for (threads, sweep) in &sweeps[1..] {
+        assert_eq!(
+            sweep, reference,
+            "served sweep differs between 1 and {threads} workers"
+        );
+    }
+    for (k, &w) in omegas.iter().enumerate() {
+        let fresh =
+            eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, Complex64::jomega(w)).expect("fresh sample");
+        assert_eq!(
+            reference[k], fresh,
+            "served sample at ω={w} differs from the freshly built model"
+        );
+    }
+    // The cache holds exactly the 64 queried shifts, across all batches.
+    assert_eq!(server.cached_shifts(id).unwrap(), omegas.len());
+}

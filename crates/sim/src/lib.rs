@@ -244,6 +244,25 @@ impl TransientSolver {
     pub fn run_constant(&mut self, u: &[f64], steps: usize) -> Result<Vec<Vec<f64>>> {
         (0..steps).map(|_| self.step(u)).collect()
     }
+
+    /// Runs one step per entry of `inputs` — each an input vector `u⁺` for
+    /// that step — returning the per-step outputs. This is the
+    /// waveform-at-a-time shape the ROM query layer serves: a batch of
+    /// input trajectories fans out over solver clones, each driven through
+    /// this method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing step.
+    pub fn run_series(&mut self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        inputs.iter().map(|u| self.step(u)).collect()
+    }
+
+    /// Resets the state to zero (the construction-time initial condition),
+    /// so one factored solver can serve many independent transients.
+    pub fn reset(&mut self) {
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +397,25 @@ mod tests {
                 "backends diverged at step {step}"
             );
         }
+    }
+
+    #[test]
+    fn run_series_matches_stepwise_and_reset_restarts() {
+        let g = Matrix::from_rows(&[&[2.0]]);
+        let c = Matrix::from_rows(&[&[1.0]]);
+        let b = Matrix::from_rows(&[&[1.0]]);
+        let l = Matrix::from_rows(&[&[1.0]]);
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![(0.1 * i as f64).sin()]).collect();
+        let mut a = TransientSolver::new(&g, &c, &b, &l, 1e-2).unwrap();
+        let mut bsim = a.clone();
+        let series = a.run_series(&inputs).unwrap();
+        for (step, u) in inputs.iter().enumerate() {
+            assert_eq!(series[step], bsim.step(u).unwrap(), "step {step}");
+        }
+        // Reset: rerunning the same waveform reproduces it bit for bit.
+        a.reset();
+        assert_eq!(a.state(), &[0.0]);
+        assert_eq!(a.run_series(&inputs).unwrap(), series);
     }
 
     #[test]

@@ -138,6 +138,26 @@ struct Supernode<T> {
     vals: Vec<T>,
 }
 
+/// One supernode panel retained for blocked forward substitution:
+/// `ncols` consecutive pivot steps (starting at `start`) whose `L`
+/// columns share the same below-diagonal row set.
+///
+/// `diag` is the `w × w` unit-lower diagonal block, column-major (entries
+/// on/above the in-panel diagonal are structural zeros and never read).
+/// `below_t` stores `L(below, S)ᵀ`: for each shared below row, its `w`
+/// panel values contiguously (`w × below`, column-major, `ld = w`) — the
+/// layout the solve's transposed panel GEMM consumes directly.
+/// `below_steps` are the below rows as **pivot steps** (all `≥ start + w`),
+/// the forward pass's target coordinates.
+#[derive(Debug, Clone)]
+struct SolvePanel<T> {
+    start: usize,
+    ncols: usize,
+    diag: Vec<T>,
+    below_steps: Vec<usize>,
+    below_t: Vec<T>,
+}
+
 /// Borrowed CSC parts of the matrix being factored — lets the shifted
 /// pencil hand over its union pattern plus freshly assembled values
 /// without constructing a `CscMatrix` (and cloning the pattern) per shift.
@@ -185,6 +205,10 @@ pub struct SparseLu<T: Scalar> {
     pinv: Vec<usize>,
     /// `q[j]` = original column factored at step `j`.
     q: Vec<usize>,
+    /// Supernode panels retained from the (supernodal) factorization, in
+    /// ascending `start` order — the blocked fast path of the forward
+    /// substitution. Empty for scalar-kernel factorizations.
+    panels: Vec<SolvePanel<T>>,
 }
 
 impl<T: Scalar> SparseLu<T> {
@@ -267,6 +291,12 @@ impl<T: Scalar> SparseLu<T> {
 
     /// Solves `A x = b`.
     ///
+    /// The forward pass runs blocked over the supernode panels retained
+    /// from a supernodal factorization (see
+    /// [`solve_multi`](Self::solve_multi) for the shared substitution and
+    /// its parity contract); scalar-kernel factorizations walk the stored
+    /// `L` columns as before.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
@@ -280,21 +310,8 @@ impl<T: Scalar> SparseLu<T> {
             });
         }
         // y lives in pivot-step coordinates.
-        let pinv = &self.pinv;
-        let mut y = vec![T::ZERO; n];
-        for j in 0..n {
-            y[j] = b[self.prow[j]];
-        }
-        // Forward: L is unit lower triangular in pivot order.
-        for j in 0..n {
-            let yj = y[j];
-            if yj.is_zero() {
-                continue;
-            }
-            for &(r, lv) in &self.l_cols[j] {
-                y[pinv[r]] -= lv * yj;
-            }
-        }
+        let mut y: Vec<T> = self.prow.iter().map(|&p| b[p]).collect();
+        self.forward_substitute(&mut y, 1);
         // Backward through U, undoing the column ordering at the end.
         let mut out = vec![T::ZERO; n];
         for j in (0..n).rev() {
@@ -308,6 +325,185 @@ impl<T: Scalar> SparseLu<T> {
             }
         }
         Ok(out)
+    }
+
+    /// Number of supernode panels the forward substitution runs blocked
+    /// over — zero for scalar-kernel factorizations and for quasi-1D
+    /// matrices whose columns opted out of packing.
+    pub fn solve_panel_count(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Shared forward pass `L y = y` over an RHS-contiguous buffer (`m`
+    /// values per pivot step). Retained supernode panels run blocked —
+    /// sequential diagonal-block substitution plus one transposed panel
+    /// GEMM over the shared below rows — and every other column walks its
+    /// stored `L` entries with the historical zero-skip guard.
+    ///
+    /// Whether a right-hand side takes a panel's blocked path is decided
+    /// **per system** on panel entry (all of its `w` panel components
+    /// nonzero), so each system's operation sequence is a pure function of
+    /// that system alone. That is the parity contract:
+    /// [`solve_multi`](Self::solve_multi) is bitwise-identical to `m`
+    /// separate [`solve`](Self::solve)s because both funnel through this
+    /// routine and make identical per-system decisions.
+    fn forward_substitute(&self, y: &mut [T], m: usize) {
+        let n = self.n;
+        let pinv = &self.pinv;
+        let mut mask: Vec<bool> = Vec::new();
+        let mut gathered_b: Vec<T> = Vec::new();
+        let mut gathered_c: Vec<T> = Vec::new();
+        let mut panels = self.panels.iter().peekable();
+        let mut j = 0;
+        while j < n {
+            if let Some(&p) = panels.peek() {
+                if p.start == j {
+                    self.forward_panel(p, y, m, &mut mask, &mut gathered_b, &mut gathered_c);
+                    j += p.ncols;
+                    panels.next();
+                    continue;
+                }
+            }
+            if !self.l_cols[j].is_empty() {
+                let (head, tail) = y.split_at_mut((j + 1) * m);
+                let yj = &head[j * m..];
+                // A zero component must be skipped exactly like `solve`
+                // historically skipped a zero scalar RHS, so the kernel
+                // path is reserved for fully nonzero slices.
+                let all_nonzero = yj.iter().all(|v| !v.is_zero());
+                for &(r, lv) in &self.l_cols[j] {
+                    let t = (pinv[r] - j - 1) * m;
+                    let row = &mut tail[t..t + m];
+                    if all_nonzero {
+                        gemm_sub(1, 1, m, &[lv], 1, yj, 1, row, 1);
+                    } else {
+                        for (rk, &vk) in row.iter_mut().zip(yj) {
+                            if !vk.is_zero() {
+                                *rk -= lv * vk;
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+
+    /// One retained panel of the forward pass. Systems whose `w` panel
+    /// components are all nonzero on entry commit to the blocked path: the
+    /// unit-lower diagonal block is substituted in scalar column order,
+    /// then the shared below rows take a single transposed GEMM
+    /// `Yᵀ(below) -= Yᵀ(S) · L(below, S)ᵀ` at panel width — whose fused
+    /// accumulation consumes the panel columns in the same order for one
+    /// system as for any batch, keeping multi- and single-RHS solves
+    /// bitwise-identical. Systems with a zero panel component replay the
+    /// scalar column walk verbatim (per-component zero-skip included).
+    fn forward_panel(
+        &self,
+        p: &SolvePanel<T>,
+        y: &mut [T],
+        m: usize,
+        mask: &mut Vec<bool>,
+        gathered_b: &mut Vec<T>,
+        gathered_c: &mut Vec<T>,
+    ) {
+        let w = p.ncols;
+        let base = p.start * m;
+        mask.clear();
+        mask.resize(m, false);
+        let mut e = 0;
+        for (k, ok) in mask.iter_mut().enumerate() {
+            *ok = (0..w).all(|t| !y[base + t * m + k].is_zero());
+            if *ok {
+                e += 1;
+            }
+        }
+        if e < m {
+            // Scalar replay for the ineligible systems, walking the stored
+            // L columns exactly as a standalone solve would.
+            for t in 0..w {
+                let j = p.start + t;
+                for k in (0..m).filter(|&k| !mask[k]) {
+                    let yjk = y[j * m + k];
+                    if yjk.is_zero() {
+                        continue;
+                    }
+                    for &(r, lv) in &self.l_cols[j] {
+                        y[self.pinv[r] * m + k] -= lv * yjk;
+                    }
+                }
+            }
+        }
+        if e == 0 {
+            return;
+        }
+        // Diagonal block in scalar column order; the entry commit replaces
+        // the per-component zero-skip for the committed systems (part of
+        // the shared op-sequence definition).
+        for t in 0..w {
+            for s in (t + 1)..w {
+                let d = p.diag[t * w + s];
+                let (head, tail) = y.split_at_mut(base + s * m);
+                let yt = &head[base + t * m..base + t * m + m];
+                let ys = &mut tail[..m];
+                if e == m {
+                    gemm_sub(1, 1, m, &[d], 1, yt, 1, ys, 1);
+                } else {
+                    for (k, (sv, &tv)) in ys.iter_mut().zip(yt).enumerate() {
+                        if mask[k] {
+                            *sv -= d * tv;
+                        }
+                    }
+                }
+            }
+        }
+        let below = p.below_steps.len();
+        if below == 0 {
+            return;
+        }
+        if e == m {
+            // The panel block of `y` is already the (m × w) column-major
+            // left operand; only the scattered below rows need gathering.
+            gathered_c.clear();
+            for &bs in &p.below_steps {
+                gathered_c.extend_from_slice(&y[bs * m..bs * m + m]);
+            }
+            gemm_sub(
+                m,
+                w,
+                below,
+                &y[base..base + w * m],
+                m,
+                &p.below_t,
+                w,
+                gathered_c,
+                m,
+            );
+            for (i, &bs) in p.below_steps.iter().enumerate() {
+                y[bs * m..bs * m + m].copy_from_slice(&gathered_c[i * m..(i + 1) * m]);
+            }
+        } else {
+            gathered_b.clear();
+            for t in 0..w {
+                for k in (0..m).filter(|&k| mask[k]) {
+                    gathered_b.push(y[base + t * m + k]);
+                }
+            }
+            gathered_c.clear();
+            for &bs in &p.below_steps {
+                for k in (0..m).filter(|&k| mask[k]) {
+                    gathered_c.push(y[bs * m + k]);
+                }
+            }
+            gemm_sub(e, w, below, gathered_b, e, &p.below_t, w, gathered_c, e);
+            let mut idx = 0;
+            for &bs in &p.below_steps {
+                for k in (0..m).filter(|&k| mask[k]) {
+                    y[bs * m + k] = gathered_c[idx];
+                    idx += 1;
+                }
+            }
+        }
     }
 
     /// Solves with a real right-hand side (embedding into `T`).
@@ -326,12 +522,16 @@ impl<T: Scalar> SparseLu<T> {
     ///
     /// The panel is transposed into RHS-contiguous layout so both
     /// triangular passes traverse the `L`/`U` index structure **once** for
-    /// all `m` systems, with the per-entry update running through the
-    /// [`bdsm_linalg::gemm_sub`] micro-kernel over the contiguous
-    /// RHS slice. Each system performs exactly the floating-point
-    /// operations of a standalone [`solve`](Self::solve) in the same
-    /// order, so `solve_multi` is bitwise-identical to `m` separate
-    /// solves (a property the reduction engine's determinism relies on).
+    /// all `m` systems. The forward pass additionally runs **blocked over
+    /// the retained supernode panels**: the packed diagonal block is
+    /// substituted in place and the shared below rows take one
+    /// [`bdsm_linalg::gemm_sub`] panel update of width `w × m` instead of
+    /// `w` scattered column walks. Each system performs exactly the
+    /// floating-point operations a standalone [`solve`](Self::solve) would
+    /// perform, in the same order — both entry points share one
+    /// substitution routine and make identical per-system path decisions —
+    /// so `solve_multi` is bitwise-identical to `m` separate solves (a
+    /// property the reduction engine's determinism relies on).
     ///
     /// # Errors
     ///
@@ -346,7 +546,6 @@ impl<T: Scalar> SparseLu<T> {
                 rhs: (rhs.len(), 1),
             });
         }
-        let pinv = &self.pinv;
         // RHS-contiguous scratch: the m values of pivot step j live at
         // y[j*m .. (j+1)*m], permuted into pivot order up front.
         let mut y = vec![T::ZERO; n * m];
@@ -356,33 +555,7 @@ impl<T: Scalar> SparseLu<T> {
                 y[j * m + k] = rhs[k * n + src];
             }
         }
-        // Forward: L is unit lower triangular in pivot order; every target
-        // row of column j is a strictly later pivot step, so the buffer
-        // splits cleanly at the active step.
-        for j in 0..n {
-            if self.l_cols[j].is_empty() {
-                continue;
-            }
-            let (head, tail) = y.split_at_mut((j + 1) * m);
-            let yj = &head[j * m..];
-            // A zero component must be skipped exactly like `solve` skips a
-            // zero scalar RHS, so the kernel path is reserved for fully
-            // nonzero slices (the overwhelmingly common case).
-            let all_nonzero = yj.iter().all(|v| !v.is_zero());
-            for &(r, lv) in &self.l_cols[j] {
-                let t = (pinv[r] - j - 1) * m;
-                let row = &mut tail[t..t + m];
-                if all_nonzero {
-                    gemm_sub(1, 1, m, &[lv], 1, yj, 1, row, 1);
-                } else {
-                    for (rk, &vk) in row.iter_mut().zip(yj) {
-                        if !vk.is_zero() {
-                            *rk -= lv * vk;
-                        }
-                    }
-                }
-            }
-        }
+        self.forward_substitute(&mut y, m);
         // Backward through U, undoing the column ordering at the end.
         let mut out = vec![T::ZERO; n * m];
         for j in (0..n).rev() {
@@ -458,6 +631,37 @@ fn factor_parts<T: Scalar>(
         }
     }
     res?;
+    // Retain the supernodes (width ≥ 2) as solve panels: the diagonal
+    // block verbatim, the below block transposed into the row-contiguous
+    // layout the forward pass's panel GEMM reads, and the below rows
+    // mapped to their (now final) pivot steps.
+    let mut panels = Vec::new();
+    for sn in &ws.snodes[..ws.snodes_used] {
+        if sn.ncols < 2 {
+            continue;
+        }
+        let (w, nr) = (sn.ncols, sn.rows.len());
+        let below = nr - w;
+        let mut diag = vec![T::ZERO; w * w];
+        for t in 0..w {
+            diag[t * w + t..(t + 1) * w].copy_from_slice(&sn.vals[t * nr + t..t * nr + w]);
+        }
+        let mut below_steps = Vec::with_capacity(below);
+        let mut below_t = vec![T::ZERO; w * below];
+        for i in 0..below {
+            below_steps.push(st.pinv[sn.rows[w + i]]);
+            for t in 0..w {
+                below_t[i * w + t] = sn.vals[t * nr + w + i];
+            }
+        }
+        panels.push(SolvePanel {
+            start: sn.start,
+            ncols: w,
+            diag,
+            below_steps,
+            below_t,
+        });
+    }
     Ok(SparseLu {
         n,
         l_cols: st.l_cols,
@@ -466,6 +670,7 @@ fn factor_parts<T: Scalar>(
         prow: st.prow,
         pinv: st.pinv,
         q: q.to_vec(),
+        panels,
     })
 }
 
@@ -1327,6 +1532,134 @@ mod tests {
             let one = lu.solve_real(&rhs[k * n..(k + 1) * n]).unwrap();
             assert_eq!(&multi[k * n..(k + 1) * n], &one[..], "column {k}");
         }
+    }
+
+    /// The historical forward/backward substitution, written against the
+    /// stored `L`/`U` columns — the oracle the panel-blocked solve is
+    /// checked against.
+    fn reference_solve<T: Scalar>(lu: &SparseLu<T>, b: &[T]) -> Vec<T> {
+        let n = lu.n;
+        let mut y: Vec<T> = lu.prow.iter().map(|&p| b[p]).collect();
+        for j in 0..n {
+            let yj = y[j];
+            if yj.is_zero() {
+                continue;
+            }
+            for &(r, lv) in &lu.l_cols[j] {
+                y[lu.pinv[r]] -= lv * yj;
+            }
+        }
+        let mut out = vec![T::ZERO; n];
+        for j in (0..n).rev() {
+            let xj = y[j] / lu.u_diag[j];
+            out[lu.q[j]] = xj;
+            if xj.is_zero() {
+                continue;
+            }
+            for &(k, uv) in &lu.u_cols[j] {
+                y[k] -= uv * xj;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn panel_blocked_solve_matches_scalar_reference_walk() {
+        // The retained panels must encode exactly the stored L columns: the
+        // blocked solve agrees with a scalar column walk over the same
+        // factors to fused-sum roundoff.
+        let n = 120;
+        let a = filled_matrix(n, 8, 0x9a7e15);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(
+            lu.solve_panel_count() > 0,
+            "fill did not produce supernode panels; densify the test matrix"
+        );
+        let b: Vec<f64> = (0..n).map(|i| (0.23 * i as f64).sin() + 0.4).collect();
+        let x = lu.solve(&b).unwrap();
+        let xref = reference_solve(&lu, &b);
+        let rel = bdsm_linalg::vector::rel_err(&x, &xref, 1e-30);
+        assert!(rel < 1e-12, "blocked solve drifted from scalar walk: {rel}");
+        // And it still solves the system.
+        let r = a.matvec(&x).unwrap();
+        let rel = bdsm_linalg::vector::rel_err(&r, &b, 1e-30);
+        assert!(rel < 1e-10, "blocked solve residual {rel}");
+    }
+
+    #[test]
+    fn solve_multi_with_panels_is_bitwise_identical_to_solves() {
+        // Panel-rich factors plus right-hand sides that split the per-system
+        // path decision: dense columns commit to the blocked path, the
+        // all-zero and scattered-zero columns replay the scalar walk — and
+        // every column must still equal its standalone solve bit for bit.
+        let n = 120;
+        let a = filled_matrix(n, 8, 0x51e3e ^ 0xbeef);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(lu.solve_panel_count() > 0, "no panels retained");
+        let m = 5;
+        let mut rhs = vec![0.0f64; n * m];
+        for i in 0..n {
+            rhs[i] = (0.29 * i as f64).sin() + 0.4;
+            rhs[n + i] = if i % 4 == 0 {
+                0.0
+            } else {
+                0.7 - 1.0 / (1.0 + i as f64)
+            };
+            // Column 2 stays all-zero; column 3 is a single spike.
+            rhs[4 * n + i] = -(0.17 * i as f64).cos();
+        }
+        rhs[3 * n + 11] = 1.5;
+        let multi = lu.solve_multi(&rhs, m).unwrap();
+        for k in 0..m {
+            let one = lu.solve(&rhs[k * n..(k + 1) * n]).unwrap();
+            assert_eq!(
+                &multi[k * n..(k + 1) * n],
+                &one[..],
+                "panel solve_multi column {k} drifted from solve"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_multi_complex_with_panels_matches_column_solves() {
+        let n = 90;
+        let g = filled_matrix(n, 7, 0x7a111);
+        let c = CscMatrix::from_triplets(
+            n,
+            n,
+            &(0..n)
+                .map(|i| (i, i, 1e-3 * (1.0 + i as f64)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let pencil = ShiftedPencil::new(&g, &c).unwrap();
+        let lu = pencil.factor_complex(Complex64::jomega(250.0)).unwrap();
+        assert!(lu.solve_panel_count() > 0, "no complex panels retained");
+        let m = 3;
+        let mut rhs: Vec<f64> = (0..n * m).map(|i| ((i as f64) * 0.19).sin()).collect();
+        // Second system: mostly zero, so it must replay the scalar walk.
+        for (i, v) in rhs[n..2 * n].iter_mut().enumerate() {
+            if i % 5 != 0 {
+                *v = 0.0;
+            }
+        }
+        let multi = lu.solve_multi_real(&rhs, m).unwrap();
+        for k in 0..m {
+            let one = lu.solve_real(&rhs[k * n..(k + 1) * n]).unwrap();
+            assert_eq!(&multi[k * n..(k + 1) * n], &one[..], "complex column {k}");
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_retains_no_panels() {
+        let a = filled_matrix(60, 6, 0xfade);
+        let q = order(&a, FillOrdering::Amd).unwrap();
+        let lu =
+            SparseLu::factor_with(&a, &q, NumericKernel::Scalar, &mut LuWorkspace::new()).unwrap();
+        assert_eq!(lu.solve_panel_count(), 0);
+        let b: Vec<f64> = (0..60).map(|i| (0.31 * i as f64).cos()).collect();
+        let x = lu.solve(&b).unwrap();
+        assert_eq!(x, reference_solve(&lu, &b), "panel-free solve changed");
     }
 
     #[test]

@@ -1,63 +1,73 @@
 //! # BDSM — block-diagonal structured model reduction for power grids
 //!
-//! Façade crate re-exporting the whole pipeline:
+//! The lifecycle this crate serves is **build once → save → serve**: a
+//! block-diagonal ROM is expensive to construct and nearly free to query,
+//! so the public API ([`rom`]) treats the reduced model as a persistable,
+//! servable artifact:
+//!
+//! | step | type | what it does |
+//! |------|------|--------------|
+//! | *build* | [`rom::Reducer`] | typed builder over the staged engine; configuration validated at `build()` time ([`rom::BuildError`]) |
+//! | *save/load* | [`rom::RomArtifact`] | versioned binary serialization (magic + format version + checksum), **bitwise-exact** round-trips, JSON debug dump, provenance (engine version, shifts, residual trajectory) |
+//! | *serve* | [`rom::RomServer`] | thread-safe multi-model handle; caches per-shift factorizations; batched `transfer_sweep` / `port_response` / `transient` queries fan out over [`core::par`], bitwise-deterministic for any `BDSM_THREADS` |
+//!
+//! # Quickstart: build once, save, serve
+//!
+//! ```
+//! use bdsm::rom::{Reducer, RomServer};
+//! use bdsm::core::synth::rc_grid;
+//!
+//! // build: an 8×10 RC mesh, reduced with moments matched at two shifts.
+//! let net = rc_grid(8, 10, 1.0, 1e-3, 2.0);
+//! let reducer = Reducer::builder()
+//!     .blocks(4)
+//!     .jomega_shifts(&[5.0e2, 2.0e3])
+//!     .moments(2)
+//!     .sparse()
+//!     .build()?;
+//! let artifact = reducer.reduce_to_artifact(&net)?;
+//! assert!(artifact.reduced_dim() < artifact.full_dim());
+//!
+//! // save → load: bitwise round-trip through the versioned binary format.
+//! let restored = bdsm::rom::RomArtifact::from_bytes(&artifact.to_bytes())?;
+//! assert!(artifact.bitwise_eq(&restored));
+//!
+//! // serve: batched frequency sweeps over the loaded artifact, with
+//! // per-shift factorizations cached across batches.
+//! let mut server = RomServer::new();
+//! let id = server.load_artifact(restored);
+//! let sweep = server.transfer_sweep(id, &[2.0e2, 1.0e3, 3.0e3])?;
+//! assert_eq!(sweep.len(), 3);
+//! assert_eq!(server.cached_shifts(id)?, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Engine internals
+//!
+//! The layers underneath remain public — they are the extension surface
+//! and the verification oracle the v1 API is checked against:
 //!
 //! | stage      | crate          | entry points |
 //! |------------|----------------|--------------|
 //! | *build*    | [`circuit`]    | [`circuit::Network`], [`circuit::mna::assemble`] |
 //! | *partition*| [`circuit`]    | [`circuit::partition::partition_network`] |
-//! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`] (scalar/supernodal [`sparse::NumericKernel`]), [`sparse::ShiftedPencil`] |
-//! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`], [`core::reduce::reduce_network_timed`], [`core::reduce::reduce_network_with_report`] — all over the staged [`core::engine::ReductionEngine`] (`Plan → Basis → Project → Certify`; adaptive shifts via [`core::engine::ShiftStrategy`], exact boundaries via [`core::projector::InterfacePolicy`]; parallel substrate: [`core::par`]) |
-//! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`] |
+//! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`] (scalar/supernodal [`sparse::NumericKernel`], panel-blocked multi-RHS solves), [`sparse::ShiftedPencil`] |
+//! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`] and friends — the low-level path under [`rom::Reducer`], all over the staged [`core::engine::ReductionEngine`] (`Plan → Basis → Project → Certify`; adaptive shifts via [`core::engine::ShiftStrategy`], exact boundaries via [`core::projector::InterfacePolicy`]; parallel substrate: [`core::par`]) |
+//! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`], [`core::transfer::eval_transfer_factored`] |
 //! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
 //! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
 //!
-//! # Examples
-//!
-//! Reduce a synthetic RC grid and compare transfer functions:
-//!
-//! ```
-//! use bdsm::core::krylov::KrylovOpts;
-//! use bdsm::core::reduce::{reduce_network, ReductionOpts, SolverBackend};
-//! use bdsm::core::synth::rc_grid;
-//! use bdsm::core::transfer::{eval_transfer, transfer_rel_err, SparseTransferEvaluator};
-//! use bdsm::linalg::Complex64;
-//!
-//! // build: an 8×10 RC mesh with ports at opposite corners.
-//! let net = rc_grid(8, 10, 1.0, 1e-3, 2.0);
-//!
-//! // partition + reduce: 4 blocks, moments matched at s = j·500 and j·2000.
-//! let opts = ReductionOpts {
-//!     num_blocks: 4,
-//!     krylov: KrylovOpts {
-//!         expansion_points: vec![],
-//!         jomega_points: vec![5.0e2, 2.0e3],
-//!         moments_per_point: 2,
-//!         deflation_tol: 1e-12,
-//!     },
-//!     rank_tol: 1e-12,
-//!     max_reduced_dim: None,
-//!     backend: SolverBackend::Sparse,
-//!     ..ReductionOpts::default()
-//! };
-//! let rm = reduce_network(&net, &opts)?;
-//! assert!(rm.reduced_dim() < rm.full_dim());
-//!
-//! // evaluate: full (through the sparse path — the full model is never
-//! // densified) vs reduced at a frequency between the expansion points.
-//! let s = Complex64::jomega(1.0e3);
-//! let full = SparseTransferEvaluator::new(
-//!     &rm.full.g, &rm.full.c, rm.full.b.clone(), rm.full.l.clone(),
-//! )?.eval(s)?;
-//! let reduced = eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s)?;
-//! assert!(transfer_rel_err(&full, &reduced) < 1e-6);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
+//! The free functions [`core::reduce::reduce_network`],
+//! [`core::reduce::reduce_network_timed`], and
+//! [`core::reduce::reduce_network_with_report`] are kept stable for
+//! callers that want raw engine access (stage recomposition, custom
+//! certification grids); new code should start from [`rom::Reducer`].
 
 pub use bdsm_bench as bench;
 pub use bdsm_circuit as circuit;
 pub use bdsm_core as core;
 pub use bdsm_linalg as linalg;
+pub use bdsm_rom as rom;
 pub use bdsm_sim as sim;
 pub use bdsm_sparse as sparse;
 
@@ -74,9 +84,13 @@ pub mod prelude {
         ReductionOpts, SolverBackend, StageTimings,
     };
     pub use bdsm_core::transfer::{
-        eval_transfer, transfer_rel_err, SparseTransferEvaluator, TransferEvaluator,
+        eval_transfer, eval_transfer_factored, transfer_rel_err, SparseTransferEvaluator,
+        TransferEvaluator,
     };
     pub use bdsm_linalg::{Complex64, Matrix};
+    pub use bdsm_rom::{
+        BuildError, Provenance, Reducer, ReducerBuilder, RomArtifact, RomError, RomId, RomServer,
+    };
     pub use bdsm_sim::TransientSolver;
     pub use bdsm_sparse::{
         CscMatrix, FillOrdering, LuWorkspace, NumericKernel, ShiftedPencil, SparseLu,
