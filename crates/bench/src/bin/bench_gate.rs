@@ -95,6 +95,73 @@ fn gate_adaptive(current: &Json, baseline: &Json, factor: f64) -> bool {
     }
 }
 
+/// Gates the partitioner record when both artifacts carry one. Separator
+/// sizes are deterministic — no timing noise — so the bar is exact:
+/// the current nested-dissection separator must not exceed the
+/// checked-in baseline's, and it must stay ≥ 25 % below BFS on the same
+/// mesh. Returns `false` when either bar is missed.
+fn gate_partition(current: &Json, baseline: &Json) -> bool {
+    let (cur, base) = match (current.get("partition"), baseline.get("partition")) {
+        (Some(c), Some(b)) if *c != Json::Null && *b != Json::Null => (c, b),
+        _ => {
+            println!("\n(partition record missing from one artifact; not gated)");
+            return true;
+        }
+    };
+    println!(
+        "\n### Partitioner separators (n = {}, k = {})\n",
+        cur.num("n").unwrap_or(f64::NAN),
+        cur.num("blocks").unwrap_or(f64::NAN),
+    );
+    println!("| metric | baseline | current |");
+    println!("|---|---:|---:|");
+    for (key, label) in [
+        ("bfs_interface_buses", "BFS separator (buses)"),
+        ("nd_interface_buses", "ND separator (buses)"),
+        ("nd_over_bfs_separator", "ND / BFS ratio"),
+        ("bfs_exact_rom_dim", "BFS exact-interface ROM dim"),
+        ("nd_exact_rom_dim", "ND exact-interface ROM dim"),
+        ("t_nd_partition_us", "ND partition time (µs)"),
+    ] {
+        println!(
+            "| {label} | {} | {} |",
+            base.num(key).map_or("n/a".into(), |v| format!("{v:.4}")),
+            cur.num(key).map_or("n/a".into(), |v| format!("{v:.4}")),
+        );
+    }
+    let (Some(cur_nd), Some(cur_bfs), Some(base_nd)) = (
+        cur.num("nd_interface_buses"),
+        cur.num("bfs_interface_buses"),
+        base.num("nd_interface_buses"),
+    ) else {
+        println!("\n(partition record incomplete; not gated)");
+        return true;
+    };
+    let mut ok = true;
+    if cur_nd > base_nd {
+        println!(
+            "\n**GATE FAILED**: ND separator grew to {cur_nd} buses (baseline {base_nd}) — \
+             deterministic metric, no noise allowance"
+        );
+        ok = false;
+    }
+    if cur_nd * 4.0 > cur_bfs * 3.0 {
+        println!(
+            "\n**GATE FAILED**: ND separator {cur_nd} vs BFS {cur_bfs} — \
+             less than the required 25 % reduction"
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "\nND separator {cur_nd} buses ≤ baseline {base_nd}, \
+             {:.1} % below BFS (required ≥ 25 %)",
+            100.0 * (1.0 - cur_nd / cur_bfs),
+        );
+    }
+    ok
+}
+
 /// Gates the ROM serve record when both artifacts carry one: the cold
 /// `RomServer` batch (artifact load + per-shift factorizations + the full
 /// frequency × port sweep) is held to the same regression factor as the
@@ -210,6 +277,9 @@ fn main() -> ExitCode {
     }
     if ratio > factor {
         println!("\n**GATE FAILED**: reduce time regressed {ratio:.2}x (> {factor:.2}x)");
+        return ExitCode::FAILURE;
+    }
+    if !gate_partition(&current, &baseline) {
         return ExitCode::FAILURE;
     }
     if !gate_adaptive(&current, &baseline, factor) {

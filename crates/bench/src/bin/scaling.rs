@@ -35,7 +35,7 @@
 //! all-port `RomServer` batch, cold and cache-warm).
 
 use bdsm_bench::time_with_warmup;
-use bdsm_circuit::mna;
+use bdsm_circuit::{mna, partition_network_with, PartitionStrategy};
 use bdsm_core::engine::AdaptiveShiftOpts;
 use bdsm_core::reduce::StageTimings;
 use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
@@ -98,6 +98,19 @@ struct AdaptiveRow {
     reduced_dim_fixed: usize,
     basis_cols: usize,
     basis_cols_fixed: usize,
+}
+
+struct PartitionRow {
+    n: usize,
+    blocks: usize,
+    t_bfs_us: f64,
+    t_nd_us: f64,
+    bfs_interface_buses: usize,
+    nd_interface_buses: usize,
+    bfs_interface_states: usize,
+    nd_interface_states: usize,
+    bfs_exact_rom_dim: usize,
+    nd_exact_rom_dim: usize,
 }
 
 struct ServeRow {
@@ -293,6 +306,7 @@ fn main() -> Result<(), BenchError> {
     }
 
     let at_scale = sizes.contains(&10_000);
+    let partition = at_scale.then(partition_scenario).transpose()?;
     let transient = at_scale.then(transient_scenario).transpose()?;
     let adaptive = at_scale.then(adaptive_scenario).transpose()?;
     let serve = at_scale.then(serve_scenario).transpose()?;
@@ -300,6 +314,7 @@ fn main() -> Result<(), BenchError> {
     let json = render_json(
         threads,
         &rows,
+        partition.as_ref(),
         transient.as_ref(),
         serve.as_ref(),
         adaptive.as_ref(),
@@ -377,6 +392,67 @@ fn adaptive_scenario() -> Result<AdaptiveRow, BenchError> {
         reduced_dim_fixed: rm_fixed.reduced_dim(),
         basis_cols: rep.basis_cols,
         basis_cols_fixed: rep_fixed.basis_cols,
+    })
+}
+
+/// Partitioner shootout at scale: BFS vs nested dissection on the
+/// 100×100 RC mesh at k = 8 — separator sizes (interface buses), the
+/// interface-state counts they induce, and what each costs in
+/// exact-interface ROM dimension (one matched shift, one moment — the
+/// cheapest reduce that still pays the full per-interface-state price).
+/// The separator sizes are deterministic, so `bench_gate` holds them to
+/// the checked-in baseline exactly, plus the ≥ 25 % ND-vs-BFS bar.
+fn partition_scenario() -> Result<PartitionRow, BenchError> {
+    const K: usize = 8;
+    println!("--- partition: 100x100 RC mesh, BFS vs nested dissection at k = {K} ---");
+    let net = rc_grid(100, 100, 1.0, 1e-3, 2.0);
+    let t0 = Instant::now();
+    let bfs = partition_network_with(&net, K, PartitionStrategy::Bfs)?;
+    let t_bfs_us = t0.elapsed().as_secs_f64() * 1e6;
+    let t0 = Instant::now();
+    let nd = partition_network_with(&net, K, PartitionStrategy::NestedDissection)?;
+    let t_nd_us = t0.elapsed().as_secs_f64() * 1e6;
+    println!(
+        "  separators: BFS {} buses ({:.1} ms), ND {} buses ({:.1} ms) — ratio {:.3}",
+        bfs.interface.len(),
+        t_bfs_us / 1e3,
+        nd.interface.len(),
+        t_nd_us / 1e3,
+        nd.interface.len() as f64 / bfs.interface.len() as f64,
+    );
+
+    let exact_rom = |strategy: PartitionStrategy| -> Result<(usize, usize), BenchError> {
+        let builder = match strategy {
+            PartitionStrategy::Bfs => Reducer::builder().bfs_partition(),
+            PartitionStrategy::NestedDissection => Reducer::builder().nested_dissection(),
+        };
+        let rm = builder
+            .blocks(K)
+            .jomega_shifts(&[OMEGA_MID])
+            .moments(1)
+            .exact_interfaces()
+            .sparse()
+            .build()?
+            .reduce(&net)?;
+        Ok((rm.interface_states.len(), rm.reduced_dim()))
+    };
+    let (bfs_interface_states, bfs_exact_rom_dim) = exact_rom(PartitionStrategy::Bfs)?;
+    let (nd_interface_states, nd_exact_rom_dim) = exact_rom(PartitionStrategy::NestedDissection)?;
+    println!(
+        "  exact-interface ROM: BFS {bfs_interface_states} interface states -> dim {bfs_exact_rom_dim}, \
+         ND {nd_interface_states} -> dim {nd_exact_rom_dim}"
+    );
+    Ok(PartitionRow {
+        n: net.num_buses(),
+        blocks: K,
+        t_bfs_us,
+        t_nd_us,
+        bfs_interface_buses: bfs.interface.len(),
+        nd_interface_buses: nd.interface.len(),
+        bfs_interface_states,
+        nd_interface_states,
+        bfs_exact_rom_dim,
+        nd_exact_rom_dim,
     })
 }
 
@@ -533,6 +609,7 @@ fn render_f64_array(vals: &[f64]) -> String {
 fn render_json(
     threads: usize,
     rows: &[Row],
+    partition: Option<&PartitionRow>,
     transient: Option<&TransientRow>,
     serve: Option<&ServeRow>,
     adaptive: Option<&AdaptiveRow>,
@@ -589,6 +666,30 @@ fn render_json(
         .expect("string write");
     }
     out.push_str("  ],\n");
+    match partition {
+        Some(p) => writeln!(
+            out,
+            "  \"partition\": {{\"topology\": \"rc_grid\", \"n\": {}, \"blocks\": {}, \
+             \"t_bfs_partition_us\": {:.1}, \"t_nd_partition_us\": {:.1}, \
+             \"bfs_interface_buses\": {}, \"nd_interface_buses\": {}, \
+             \"nd_over_bfs_separator\": {:.4}, \
+             \"bfs_interface_states\": {}, \"nd_interface_states\": {}, \
+             \"bfs_exact_rom_dim\": {}, \"nd_exact_rom_dim\": {}}},",
+            p.n,
+            p.blocks,
+            p.t_bfs_us,
+            p.t_nd_us,
+            p.bfs_interface_buses,
+            p.nd_interface_buses,
+            p.nd_interface_buses as f64 / p.bfs_interface_buses as f64,
+            p.bfs_interface_states,
+            p.nd_interface_states,
+            p.bfs_exact_rom_dim,
+            p.nd_exact_rom_dim,
+        )
+        .expect("string write"),
+        None => out.push_str("  \"partition\": null,\n"),
+    }
     match transient {
         Some(t) => writeln!(
             out,

@@ -33,9 +33,14 @@
 pub mod mna;
 pub mod network;
 pub mod partition;
+pub mod reduction;
 pub mod sparse;
 
 pub use mna::{Descriptor, StateKind};
 pub use network::{CircuitError, Element, ElementKind, Network, Result, GROUND};
-pub use partition::{grouped_state_order, interface_state_indices, partition_network, Partition};
+pub use partition::{
+    grouped_state_order, interface_state_indices, partition_network, partition_network_with,
+    Partition, PartitionStrategy,
+};
+pub use reduction::ReductionSet;
 pub use sparse::CooMatrix;

@@ -48,6 +48,13 @@ pub enum CircuitError {
         /// Human-readable description.
         what: &'static str,
     },
+    /// A reduction-set request (kept/eliminated buses) that cannot be
+    /// satisfied — empty keep set, nothing to eliminate, or an
+    /// out-of-range bus index.
+    InvalidReductionSet {
+        /// Human-readable description.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -76,6 +83,9 @@ impl fmt::Display for CircuitError {
                 )
             }
             CircuitError::InvalidPartition { what } => write!(f, "invalid partition: {what}"),
+            CircuitError::InvalidReductionSet { what } => {
+                write!(f, "invalid reduction set: {what}")
+            }
         }
     }
 }
@@ -131,7 +141,11 @@ pub struct Probe {
 }
 
 /// A power-grid network: buses + branches + sources + probes.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the full structural content (bus names, elements,
+/// sources, probes, all in insertion order) — the equality the netlist
+/// round-trip guarantee in `bdsm-io` is stated against.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Network {
     bus_names: Vec<String>,
     elements: Vec<Element>,

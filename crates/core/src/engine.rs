@@ -38,8 +38,8 @@ use crate::reduce::{
 };
 use crate::transfer::{transfer_rel_err, CMatrix, SparseTransferEvaluator, TransferEvaluator};
 use bdsm_circuit::{
-    grouped_state_order, interface_state_indices, mna, partition_network, CircuitError, Network,
-    Partition,
+    grouped_state_order, interface_state_indices, mna, partition_network_with, CircuitError,
+    Network, Partition, ReductionSet,
 };
 use bdsm_linalg::{LinalgError, Matrix};
 use bdsm_sparse::ShiftedPencil;
@@ -263,7 +263,14 @@ impl<'n> ReductionEngine<'n> {
         let t0 = Instant::now();
         let desc = mna::assemble(self.net)?;
         let t1 = Instant::now();
-        let partition = partition_network(self.net, self.opts.num_blocks)?;
+        let partition = match &self.opts.kept_buses {
+            Some(kept) => ReductionSet::keep_buses(self.net, kept)?.to_partition(self.net)?,
+            None => partition_network_with(
+                self.net,
+                self.opts.num_blocks,
+                self.opts.partition_strategy,
+            )?,
+        };
         stages.partition_us = t1.elapsed().as_secs_f64() * 1e6;
         let (new_of_old, block_sizes) = grouped_state_order(self.net, &desc, &partition);
         let full = SparseDescriptor {

@@ -34,7 +34,7 @@
 use crate::engine::{EngineReport, ReductionEngine, ShiftStrategy};
 use crate::krylov::KrylovOpts;
 use crate::projector::{BlockDiagProjector, InterfacePolicy};
-use bdsm_circuit::{CircuitError, Network, Partition};
+use bdsm_circuit::{CircuitError, Network, Partition, PartitionStrategy};
 use bdsm_linalg::{LinalgError, Matrix};
 use bdsm_sparse::CscMatrix;
 use std::fmt;
@@ -124,6 +124,17 @@ pub struct ReductionOpts {
     /// How interface buses are treated by the projector — folded (the
     /// default) or preserved exactly.
     pub interface_policy: InterfacePolicy,
+    /// How the bus graph is split into blocks — BFS growth (the default,
+    /// reproducing the historical pipeline bitwise) or separator-minimising
+    /// nested dissection. Ignored when [`kept_buses`](Self::kept_buses) is
+    /// set.
+    pub partition_strategy: PartitionStrategy,
+    /// User-designated reduction region: when set, these buses are kept and
+    /// every other bus is eliminated, overriding `num_blocks` and
+    /// `partition_strategy` (the partition is derived from the kept set via
+    /// [`ReductionSet`]). Pair with [`InterfacePolicy::Exact`] to read kept
+    /// boundary voltages off the ROM verbatim.
+    pub kept_buses: Option<Vec<usize>>,
 }
 
 impl Default for ReductionOpts {
@@ -136,6 +147,8 @@ impl Default for ReductionOpts {
             backend: SolverBackend::default(),
             shift_strategy: ShiftStrategy::default(),
             interface_policy: InterfacePolicy::default(),
+            partition_strategy: PartitionStrategy::default(),
+            kept_buses: None,
         }
     }
 }

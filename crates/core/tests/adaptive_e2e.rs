@@ -42,6 +42,7 @@ fn adaptive_exact_10k_grid_is_deterministic_and_accurate() {
             max_shifts: 4,
         }),
         interface_policy: InterfacePolicy::Exact,
+        ..ReductionOpts::default()
     };
 
     // The greedy loop (residual-driven selection included) must produce

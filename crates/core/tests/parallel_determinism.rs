@@ -4,6 +4,7 @@
 //! (expansion point, block SVD, frequency sample) is a pure function of
 //! its inputs and results are merged in item order.
 
+use bdsm_circuit::PartitionStrategy;
 use bdsm_core::krylov::KrylovOpts;
 use bdsm_core::reduce::{reduce_network, reduce_network_timed, ReductionOpts, SolverBackend};
 use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
@@ -66,6 +67,38 @@ fn reduced_model_is_bitwise_invariant_under_thread_count() {
         assert_eq!(
             bytes, reference,
             "reduced model differs between 1 and {threads} workers"
+        );
+    }
+}
+
+/// Same contract for the nested-dissection partitioner: the strategy runs
+/// before the fan-out, so worker count must not leak into the separator
+/// choice or anything downstream of it — reduced models stay
+/// bitwise-identical under `BDSM_THREADS` ∈ {1, 2, 5}.
+#[test]
+fn nested_dissection_reduction_is_bitwise_invariant_under_thread_count() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let net = rc_grid(25, 24, 1.0, 1e-3, 2.0);
+    let opts = ReductionOpts {
+        partition_strategy: PartitionStrategy::NestedDissection,
+        ..engine_opts()
+    };
+    let prev = std::env::var("BDSM_THREADS").ok();
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "5"] {
+        std::env::set_var("BDSM_THREADS", threads);
+        let rm = reduce_network(&net, &opts).unwrap();
+        outputs.push((threads, model_bytes(&rm)));
+    }
+    match prev {
+        Some(v) => std::env::set_var("BDSM_THREADS", v),
+        None => std::env::remove_var("BDSM_THREADS"),
+    }
+    let (_, ref reference) = outputs[0];
+    for (threads, bytes) in &outputs[1..] {
+        assert_eq!(
+            bytes, reference,
+            "ND-partitioned model differs between 1 and {threads} workers"
         );
     }
 }

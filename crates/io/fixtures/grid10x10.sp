@@ -1,0 +1,387 @@
+* 10x10 RC mesh: unit series resistors, 1e-3 F grounded
+* capacitors, corner load resistors, ports at opposite corners.
+.bus n0_0
+.bus n0_1
+.bus n0_2
+.bus n0_3
+.bus n0_4
+.bus n0_5
+.bus n0_6
+.bus n0_7
+.bus n0_8
+.bus n0_9
+.bus n1_0
+.bus n1_1
+.bus n1_2
+.bus n1_3
+.bus n1_4
+.bus n1_5
+.bus n1_6
+.bus n1_7
+.bus n1_8
+.bus n1_9
+.bus n2_0
+.bus n2_1
+.bus n2_2
+.bus n2_3
+.bus n2_4
+.bus n2_5
+.bus n2_6
+.bus n2_7
+.bus n2_8
+.bus n2_9
+.bus n3_0
+.bus n3_1
+.bus n3_2
+.bus n3_3
+.bus n3_4
+.bus n3_5
+.bus n3_6
+.bus n3_7
+.bus n3_8
+.bus n3_9
+.bus n4_0
+.bus n4_1
+.bus n4_2
+.bus n4_3
+.bus n4_4
+.bus n4_5
+.bus n4_6
+.bus n4_7
+.bus n4_8
+.bus n4_9
+.bus n5_0
+.bus n5_1
+.bus n5_2
+.bus n5_3
+.bus n5_4
+.bus n5_5
+.bus n5_6
+.bus n5_7
+.bus n5_8
+.bus n5_9
+.bus n6_0
+.bus n6_1
+.bus n6_2
+.bus n6_3
+.bus n6_4
+.bus n6_5
+.bus n6_6
+.bus n6_7
+.bus n6_8
+.bus n6_9
+.bus n7_0
+.bus n7_1
+.bus n7_2
+.bus n7_3
+.bus n7_4
+.bus n7_5
+.bus n7_6
+.bus n7_7
+.bus n7_8
+.bus n7_9
+.bus n8_0
+.bus n8_1
+.bus n8_2
+.bus n8_3
+.bus n8_4
+.bus n8_5
+.bus n8_6
+.bus n8_7
+.bus n8_8
+.bus n8_9
+.bus n9_0
+.bus n9_1
+.bus n9_2
+.bus n9_3
+.bus n9_4
+.bus n9_5
+.bus n9_6
+.bus n9_7
+.bus n9_8
+.bus n9_9
+R1 n0_0 n0_1 1
+R2 n0_0 n1_0 1
+R3 n0_1 n0_2 1
+R4 n0_1 n1_1 1
+R5 n0_2 n0_3 1
+R6 n0_2 n1_2 1
+R7 n0_3 n0_4 1
+R8 n0_3 n1_3 1
+R9 n0_4 n0_5 1
+R10 n0_4 n1_4 1
+R11 n0_5 n0_6 1
+R12 n0_5 n1_5 1
+R13 n0_6 n0_7 1
+R14 n0_6 n1_6 1
+R15 n0_7 n0_8 1
+R16 n0_7 n1_7 1
+R17 n0_8 n0_9 1
+R18 n0_8 n1_8 1
+R19 n0_9 n1_9 1
+R20 n1_0 n1_1 1
+R21 n1_0 n2_0 1
+R22 n1_1 n1_2 1
+R23 n1_1 n2_1 1
+R24 n1_2 n1_3 1
+R25 n1_2 n2_2 1
+R26 n1_3 n1_4 1
+R27 n1_3 n2_3 1
+R28 n1_4 n1_5 1
+R29 n1_4 n2_4 1
+R30 n1_5 n1_6 1
+R31 n1_5 n2_5 1
+R32 n1_6 n1_7 1
+R33 n1_6 n2_6 1
+R34 n1_7 n1_8 1
+R35 n1_7 n2_7 1
+R36 n1_8 n1_9 1
+R37 n1_8 n2_8 1
+R38 n1_9 n2_9 1
+R39 n2_0 n2_1 1
+R40 n2_0 n3_0 1
+R41 n2_1 n2_2 1
+R42 n2_1 n3_1 1
+R43 n2_2 n2_3 1
+R44 n2_2 n3_2 1
+R45 n2_3 n2_4 1
+R46 n2_3 n3_3 1
+R47 n2_4 n2_5 1
+R48 n2_4 n3_4 1
+R49 n2_5 n2_6 1
+R50 n2_5 n3_5 1
+R51 n2_6 n2_7 1
+R52 n2_6 n3_6 1
+R53 n2_7 n2_8 1
+R54 n2_7 n3_7 1
+R55 n2_8 n2_9 1
+R56 n2_8 n3_8 1
+R57 n2_9 n3_9 1
+R58 n3_0 n3_1 1
+R59 n3_0 n4_0 1
+R60 n3_1 n3_2 1
+R61 n3_1 n4_1 1
+R62 n3_2 n3_3 1
+R63 n3_2 n4_2 1
+R64 n3_3 n3_4 1
+R65 n3_3 n4_3 1
+R66 n3_4 n3_5 1
+R67 n3_4 n4_4 1
+R68 n3_5 n3_6 1
+R69 n3_5 n4_5 1
+R70 n3_6 n3_7 1
+R71 n3_6 n4_6 1
+R72 n3_7 n3_8 1
+R73 n3_7 n4_7 1
+R74 n3_8 n3_9 1
+R75 n3_8 n4_8 1
+R76 n3_9 n4_9 1
+R77 n4_0 n4_1 1
+R78 n4_0 n5_0 1
+R79 n4_1 n4_2 1
+R80 n4_1 n5_1 1
+R81 n4_2 n4_3 1
+R82 n4_2 n5_2 1
+R83 n4_3 n4_4 1
+R84 n4_3 n5_3 1
+R85 n4_4 n4_5 1
+R86 n4_4 n5_4 1
+R87 n4_5 n4_6 1
+R88 n4_5 n5_5 1
+R89 n4_6 n4_7 1
+R90 n4_6 n5_6 1
+R91 n4_7 n4_8 1
+R92 n4_7 n5_7 1
+R93 n4_8 n4_9 1
+R94 n4_8 n5_8 1
+R95 n4_9 n5_9 1
+R96 n5_0 n5_1 1
+R97 n5_0 n6_0 1
+R98 n5_1 n5_2 1
+R99 n5_1 n6_1 1
+R100 n5_2 n5_3 1
+R101 n5_2 n6_2 1
+R102 n5_3 n5_4 1
+R103 n5_3 n6_3 1
+R104 n5_4 n5_5 1
+R105 n5_4 n6_4 1
+R106 n5_5 n5_6 1
+R107 n5_5 n6_5 1
+R108 n5_6 n5_7 1
+R109 n5_6 n6_6 1
+R110 n5_7 n5_8 1
+R111 n5_7 n6_7 1
+R112 n5_8 n5_9 1
+R113 n5_8 n6_8 1
+R114 n5_9 n6_9 1
+R115 n6_0 n6_1 1
+R116 n6_0 n7_0 1
+R117 n6_1 n6_2 1
+R118 n6_1 n7_1 1
+R119 n6_2 n6_3 1
+R120 n6_2 n7_2 1
+R121 n6_3 n6_4 1
+R122 n6_3 n7_3 1
+R123 n6_4 n6_5 1
+R124 n6_4 n7_4 1
+R125 n6_5 n6_6 1
+R126 n6_5 n7_5 1
+R127 n6_6 n6_7 1
+R128 n6_6 n7_6 1
+R129 n6_7 n6_8 1
+R130 n6_7 n7_7 1
+R131 n6_8 n6_9 1
+R132 n6_8 n7_8 1
+R133 n6_9 n7_9 1
+R134 n7_0 n7_1 1
+R135 n7_0 n8_0 1
+R136 n7_1 n7_2 1
+R137 n7_1 n8_1 1
+R138 n7_2 n7_3 1
+R139 n7_2 n8_2 1
+R140 n7_3 n7_4 1
+R141 n7_3 n8_3 1
+R142 n7_4 n7_5 1
+R143 n7_4 n8_4 1
+R144 n7_5 n7_6 1
+R145 n7_5 n8_5 1
+R146 n7_6 n7_7 1
+R147 n7_6 n8_6 1
+R148 n7_7 n7_8 1
+R149 n7_7 n8_7 1
+R150 n7_8 n7_9 1
+R151 n7_8 n8_8 1
+R152 n7_9 n8_9 1
+R153 n8_0 n8_1 1
+R154 n8_0 n9_0 1
+R155 n8_1 n8_2 1
+R156 n8_1 n9_1 1
+R157 n8_2 n8_3 1
+R158 n8_2 n9_2 1
+R159 n8_3 n8_4 1
+R160 n8_3 n9_3 1
+R161 n8_4 n8_5 1
+R162 n8_4 n9_4 1
+R163 n8_5 n8_6 1
+R164 n8_5 n9_5 1
+R165 n8_6 n8_7 1
+R166 n8_6 n9_6 1
+R167 n8_7 n8_8 1
+R168 n8_7 n9_7 1
+R169 n8_8 n8_9 1
+R170 n8_8 n9_8 1
+R171 n8_9 n9_9 1
+R172 n9_0 n9_1 1
+R173 n9_1 n9_2 1
+R174 n9_2 n9_3 1
+R175 n9_3 n9_4 1
+R176 n9_4 n9_5 1
+R177 n9_5 n9_6 1
+R178 n9_6 n9_7 1
+R179 n9_7 n9_8 1
+R180 n9_8 n9_9 1
+C1 n0_0 0 1m
+C2 n0_1 0 1m
+C3 n0_2 0 1m
+C4 n0_3 0 1m
+C5 n0_4 0 1m
+C6 n0_5 0 1m
+C7 n0_6 0 1m
+C8 n0_7 0 1m
+C9 n0_8 0 1m
+C10 n0_9 0 1m
+C11 n1_0 0 1m
+C12 n1_1 0 1m
+C13 n1_2 0 1m
+C14 n1_3 0 1m
+C15 n1_4 0 1m
+C16 n1_5 0 1m
+C17 n1_6 0 1m
+C18 n1_7 0 1m
+C19 n1_8 0 1m
+C20 n1_9 0 1m
+C21 n2_0 0 1m
+C22 n2_1 0 1m
+C23 n2_2 0 1m
+C24 n2_3 0 1m
+C25 n2_4 0 1m
+C26 n2_5 0 1m
+C27 n2_6 0 1m
+C28 n2_7 0 1m
+C29 n2_8 0 1m
+C30 n2_9 0 1m
+C31 n3_0 0 1m
+C32 n3_1 0 1m
+C33 n3_2 0 1m
+C34 n3_3 0 1m
+C35 n3_4 0 1m
+C36 n3_5 0 1m
+C37 n3_6 0 1m
+C38 n3_7 0 1m
+C39 n3_8 0 1m
+C40 n3_9 0 1m
+C41 n4_0 0 1m
+C42 n4_1 0 1m
+C43 n4_2 0 1m
+C44 n4_3 0 1m
+C45 n4_4 0 1m
+C46 n4_5 0 1m
+C47 n4_6 0 1m
+C48 n4_7 0 1m
+C49 n4_8 0 1m
+C50 n4_9 0 1m
+C51 n5_0 0 1m
+C52 n5_1 0 1m
+C53 n5_2 0 1m
+C54 n5_3 0 1m
+C55 n5_4 0 1m
+C56 n5_5 0 1m
+C57 n5_6 0 1m
+C58 n5_7 0 1m
+C59 n5_8 0 1m
+C60 n5_9 0 1m
+C61 n6_0 0 1m
+C62 n6_1 0 1m
+C63 n6_2 0 1m
+C64 n6_3 0 1m
+C65 n6_4 0 1m
+C66 n6_5 0 1m
+C67 n6_6 0 1m
+C68 n6_7 0 1m
+C69 n6_8 0 1m
+C70 n6_9 0 1m
+C71 n7_0 0 1m
+C72 n7_1 0 1m
+C73 n7_2 0 1m
+C74 n7_3 0 1m
+C75 n7_4 0 1m
+C76 n7_5 0 1m
+C77 n7_6 0 1m
+C78 n7_7 0 1m
+C79 n7_8 0 1m
+C80 n7_9 0 1m
+C81 n8_0 0 1m
+C82 n8_1 0 1m
+C83 n8_2 0 1m
+C84 n8_3 0 1m
+C85 n8_4 0 1m
+C86 n8_5 0 1m
+C87 n8_6 0 1m
+C88 n8_7 0 1m
+C89 n8_8 0 1m
+C90 n8_9 0 1m
+C91 n9_0 0 1m
+C92 n9_1 0 1m
+C93 n9_2 0 1m
+C94 n9_3 0 1m
+C95 n9_4 0 1m
+C96 n9_5 0 1m
+C97 n9_6 0 1m
+C98 n9_7 0 1m
+C99 n9_8 0 1m
+C100 n9_9 0 1m
+R181 n0_0 0 2
+R182 n9_9 0 2
+.port n0_0
+.port n9_9
+.end

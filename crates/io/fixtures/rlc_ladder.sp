@@ -1,0 +1,25 @@
+* Five-section RLC transmission-line ladder.
+* Exercises the dialect: comments, continuation lines, scale suffixes
+* (including meg vs milli and trailing unit letters), ground aliases,
+* a voltage-source input, and explicit .bus declarations.
+.bus in
+.bus n1
+.bus n2
+.bus n3
+.bus out
+
+R1 in n1 2.2kOhm   ; series resistance
+L1 n1 n2 150n
+R2 n2 n3
++ 0.5meg           ; continued card: value on its own line
+L2 n3 out 2.5u
+C1 n1 gnd 100nF
+C2 n2 GROUND 1m
+C3 n3 0 4.7p
+C4 out 0 1f
+
+V1 in 0 1
+.port out
+.probe n2
+.end
+anything after .end is ignored, even unparseable junk

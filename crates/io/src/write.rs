@@ -1,0 +1,160 @@
+//! The netlist writer: [`Network`] → text the parser round-trips.
+
+use crate::error::WriteError;
+use crate::parse::parse_netlist;
+use bdsm_circuit::{ElementKind, Network, GROUND};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serializes a network to netlist text.
+///
+/// The output leads with one `.bus` line per bus in index order (pinning
+/// the parser's interning order), then elements, sources, and probes in
+/// insertion order, and a final `.end`. Values are printed in scientific
+/// notation with the shortest digits that reparse to the identical `f64`,
+/// so `parse_netlist(&write_netlist(net)?) == *net` structurally.
+///
+/// Source amplitudes are model inputs, not structural data, so `I`/`V`
+/// cards are written with amplitude `1`.
+///
+/// # Errors
+///
+/// [`WriteError::UnwritableBusName`] if a bus name is empty, contains
+/// whitespace or `;`, starts with a character the parser would
+/// misinterpret (`.`, `*`, `+`), or spells the ground node.
+pub fn write_netlist(net: &Network) -> Result<String, WriteError> {
+    for i in 0..net.num_buses() {
+        let name = net.bus_name(i);
+        let why = if name.is_empty() {
+            Some("name is empty")
+        } else if name.contains(char::is_whitespace) {
+            Some("name contains whitespace")
+        } else if name.contains(';') {
+            Some("name contains a comment character")
+        } else if name.starts_with('.') || name.starts_with('*') || name.starts_with('+') {
+            Some("name starts with a directive/comment/continuation marker")
+        } else if name == "0"
+            || name.eq_ignore_ascii_case("gnd")
+            || name.eq_ignore_ascii_case("ground")
+        {
+            Some("name spells the ground node")
+        } else {
+            None
+        };
+        if let Some(why) = why {
+            return Err(WriteError::UnwritableBusName {
+                index: i,
+                name: name.to_string(),
+                why,
+            });
+        }
+    }
+
+    let node = |n: usize| -> &str {
+        if n == GROUND {
+            "0"
+        } else {
+            net.bus_name(n)
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "* BDSM netlist: {} buses", net.num_buses());
+    for i in 0..net.num_buses() {
+        let _ = writeln!(out, ".bus {}", net.bus_name(i));
+    }
+    let (mut nr, mut nc, mut nl) = (0usize, 0usize, 0usize);
+    for e in net.elements() {
+        let (card, idx, v) = match e.kind {
+            ElementKind::Resistor(v) => {
+                nr += 1;
+                ('R', nr, v)
+            }
+            ElementKind::Capacitor(v) => {
+                nc += 1;
+                ('C', nc, v)
+            }
+            ElementKind::Inductor(v) => {
+                nl += 1;
+                ('L', nl, v)
+            }
+        };
+        let _ = writeln!(out, "{card}{idx} {} {} {v:e}", node(e.a), node(e.b));
+    }
+    for (i, s) in net.current_sources().iter().enumerate() {
+        let _ = writeln!(out, "I{} 0 {} 1", i + 1, node(s.node));
+    }
+    for (i, s) in net.voltage_sources().iter().enumerate() {
+        let _ = writeln!(out, "V{} {} {} 1", i + 1, node(s.plus), node(s.minus));
+    }
+    for p in net.probes() {
+        let _ = writeln!(out, ".probe {}", node(p.node));
+    }
+    out.push_str(".end\n");
+
+    debug_assert_eq!(
+        parse_netlist(&out).as_ref().ok(),
+        Some(net),
+        "writer output must round-trip"
+    );
+    Ok(out)
+}
+
+/// Writes the netlist text to a file.
+///
+/// # Errors
+///
+/// Same as [`write_netlist`], plus [`WriteError::Io`].
+pub fn save_netlist(net: &Network, path: impl AsRef<Path>) -> Result<(), WriteError> {
+    std::fs::write(path, write_netlist(net)?).map_err(WriteError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structurally() {
+        let mut net = Network::new();
+        let a = net.add_bus("in");
+        let b = net.add_bus("mid");
+        let c = net.add_bus("out");
+        net.add_bus("floating"); // no elements — only `.bus` keeps it
+        net.add_resistor(a, b, 1.0e3).unwrap();
+        net.add_inductor(b, c, 2.5e-6).unwrap();
+        net.add_capacitor(c, GROUND, 0.1 + 0.2).unwrap(); // non-round value
+        net.add_voltage_source(a, GROUND).unwrap();
+        net.add_port(c).unwrap();
+        net.add_probe(b).unwrap();
+
+        let text = write_netlist(&net).unwrap();
+        let back = parse_netlist(&text).unwrap();
+        assert_eq!(back, net);
+        // And the text itself is stable under a second round-trip.
+        assert_eq!(write_netlist(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn current_source_card_names_injection_bus() {
+        let mut net = Network::new();
+        let a = net.add_bus("a");
+        net.add_resistor(a, GROUND, 1.0).unwrap();
+        net.add_current_source(a).unwrap();
+        let text = write_netlist(&net).unwrap();
+        assert!(text.contains("I1 0 a 1"), "{text}");
+    }
+
+    #[test]
+    fn rejects_unwritable_names() {
+        for bad in ["", "two words", "0", "GND", ".dot", "*star", "+plus", "a;b"] {
+            let mut net = Network::new();
+            net.add_bus(bad);
+            assert!(
+                matches!(
+                    write_netlist(&net),
+                    Err(WriteError::UnwritableBusName { .. })
+                ),
+                "name {bad:?} should be rejected"
+            );
+        }
+    }
+}

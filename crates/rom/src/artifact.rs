@@ -14,7 +14,7 @@
 //! the numbers the freshly built model would produce. A JSON debug dump
 //! ([`RomArtifact::to_json`]) mirrors the same content human-readably.
 
-use bdsm_circuit::Partition;
+use bdsm_circuit::{Partition, PartitionStrategy};
 use bdsm_core::engine::EngineReport;
 use bdsm_core::krylov::ExpansionPoint;
 use bdsm_core::projector::InterfacePolicy;
@@ -29,7 +29,10 @@ pub const MAGIC: [u8; 8] = *b"BDSMROM\0";
 
 /// Format version this build writes and the only one it reads. Bump on
 /// any layout change; readers reject everything else loudly.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 — initial layout; v2 — provenance gained the partition
+/// strategy tag and the user-designated kept-bus list.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Build provenance carried inside an artifact — the audit trail that
 /// makes a loaded ROM explainable: which engine built it, from which
@@ -51,6 +54,12 @@ pub struct Provenance {
     pub backend: SolverBackend,
     /// How interface buses were treated by the projector.
     pub interface_policy: InterfacePolicy,
+    /// How the bus graph was partitioned into blocks.
+    pub partition_strategy: PartitionStrategy,
+    /// User-designated kept buses the partition was derived from (empty
+    /// when the partition came from a plain strategy run instead of a
+    /// reduction set).
+    pub kept_buses: Vec<usize>,
 }
 
 /// A persistable reduced-order model: reduced descriptor + block
@@ -195,6 +204,10 @@ impl RomArtifact {
             } else {
                 InterfacePolicy::Exact
             },
+            // Likewise unknown to a bare `ReducedModel`; the builder path
+            // overwrites both with the configured values.
+            partition_strategy: PartitionStrategy::Bfs,
+            kept_buses: Vec::new(),
         };
         RomArtifact {
             block_sizes: rm.block_sizes.clone(),
@@ -289,6 +302,11 @@ impl RomArtifact {
             InterfacePolicy::Folded => 0,
             InterfacePolicy::Exact => 1,
         });
+        w.u8(match self.provenance.partition_strategy {
+            PartitionStrategy::Bfs => 0,
+            PartitionStrategy::NestedDissection => 1,
+        });
+        w.usizes(&self.provenance.kept_buses);
         w.finish()
     }
 
@@ -352,6 +370,12 @@ impl RomArtifact {
             1 => InterfacePolicy::Exact,
             _ => return Err(RomError::Corrupt("unknown interface-policy tag")),
         };
+        let partition_strategy = match r.u8("partition strategy tag")? {
+            0 => PartitionStrategy::Bfs,
+            1 => PartitionStrategy::NestedDissection,
+            _ => return Err(RomError::Corrupt("unknown partition-strategy tag")),
+        };
+        let kept_buses = r.usizes("kept buses")?;
         r.finish()?;
 
         let artifact = RomArtifact {
@@ -373,6 +397,8 @@ impl RomArtifact {
                 residual_trajectory,
                 backend,
                 interface_policy,
+                partition_strategy,
+                kept_buses,
             },
         };
         artifact.validate()?;
@@ -408,6 +434,10 @@ impl RomArtifact {
             .any(|&(row, col)| row >= n || col >= q)
         {
             return Err(RomError::Corrupt("interface map entry out of range"));
+        }
+        let num_buses = self.partition.block_of_node.len();
+        if self.provenance.kept_buses.iter().any(|&b| b >= num_buses) {
+            return Err(RomError::Corrupt("kept bus out of range"));
         }
         Ok(())
     }
@@ -479,13 +509,16 @@ impl RomArtifact {
             out,
             "  \"provenance\": {{\"shifts\": [{}], \"basis_cols\": {}, \
              \"certified\": {}, \"residual_trajectory\": [{}], \
-             \"backend\": \"{:?}\", \"interface_policy\": \"{:?}\"}}",
+             \"backend\": \"{:?}\", \"interface_policy\": \"{:?}\", \
+             \"partition_strategy\": \"{:?}\", \"kept_buses\": {:?}}}",
             shifts.join(", "),
             self.provenance.basis_cols,
             self.provenance.certified,
             resid.join(", "),
             self.provenance.backend,
             self.provenance.interface_policy,
+            self.provenance.partition_strategy,
+            self.provenance.kept_buses,
         );
         out.push('}');
         out.push('\n');
@@ -746,6 +779,8 @@ mod tests {
                 residual_trajectory: vec![1e-2, 3.5e-5, 9.9e-8],
                 backend: SolverBackend::Sparse,
                 interface_policy: InterfacePolicy::Exact,
+                partition_strategy: PartitionStrategy::NestedDissection,
+                kept_buses: vec![1, 2],
             },
         }
     }
@@ -804,11 +839,13 @@ mod tests {
     fn json_dump_names_the_structure() {
         let j = tiny_artifact().to_json();
         for needle in [
-            "\"format_version\": 1",
+            "\"format_version\": 2",
             "\"reduced_dim\": 3",
             "\"interface_map\": [[1, 0], [2, 1]]",
             "\"certified\": true",
             "\"jomega\"",
+            "\"partition_strategy\": \"NestedDissection\"",
+            "\"kept_buses\": [1, 2]",
         ] {
             assert!(j.contains(needle), "JSON dump missing {needle}:\n{j}");
         }

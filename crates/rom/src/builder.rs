@@ -10,7 +10,7 @@
 //! [`Reducer::reduce_to_artifact`].
 
 use crate::artifact::{RomArtifact, RomError};
-use bdsm_circuit::Network;
+use bdsm_circuit::{Network, PartitionStrategy};
 use bdsm_core::engine::{AdaptiveShiftOpts, EngineReport, ShiftStrategy};
 use bdsm_core::krylov::KrylovOpts;
 use bdsm_core::projector::InterfacePolicy;
@@ -77,6 +77,10 @@ pub enum BuildError {
         /// What is wrong.
         what: &'static str,
     },
+    /// [`ReducerBuilder::keep_buses`] was given an empty bus list.
+    /// (Out-of-range indices are network-dependent, so they surface at
+    /// reduce time as a circuit-layer error instead.)
+    EmptyReductionSet,
 }
 
 impl fmt::Display for BuildError {
@@ -102,6 +106,9 @@ impl fmt::Display for BuildError {
                 "reducer: budget {budget} cannot hold one state for each of {blocks} blocks"
             ),
             BuildError::Adaptive { what } => write!(f, "reducer: adaptive {what}"),
+            BuildError::EmptyReductionSet => {
+                write!(f, "reducer: keep_buses needs at least one bus to keep")
+            }
         }
     }
 }
@@ -177,8 +184,11 @@ impl Reducer {
         // `from_model` can only infer the policy from the interface map;
         // here the configured policy is in hand, so record it exactly
         // (an Exact build of an interface-free partition would otherwise
-        // be mislabelled Folded in the provenance).
+        // be mislabelled Folded in the provenance). Same for the partition
+        // strategy and the kept-bus designation.
         artifact.provenance.interface_policy = self.opts.interface_policy;
+        artifact.provenance.partition_strategy = self.opts.partition_strategy;
+        artifact.provenance.kept_buses = self.opts.kept_buses.clone().unwrap_or_default();
         Ok(artifact)
     }
 }
@@ -206,6 +216,8 @@ impl Default for ReducerBuilder {
                 backend: SolverBackend::Sparse,
                 shift_strategy: ShiftStrategy::Fixed,
                 interface_policy: InterfacePolicy::Folded,
+                partition_strategy: PartitionStrategy::Bfs,
+                kept_buses: None,
             },
         }
     }
@@ -321,6 +333,44 @@ impl ReducerBuilder {
         self
     }
 
+    /// Separator-minimising nested-dissection partitioning — smaller
+    /// interface sets on meshes, directly shrinking the exact-interface
+    /// ROM dimension. Ignored when [`keep_buses`](Self::keep_buses) is set.
+    #[must_use]
+    pub fn nested_dissection(mut self) -> Self {
+        self.opts.partition_strategy = PartitionStrategy::NestedDissection;
+        self
+    }
+
+    /// BFS-growth partitioning (the default).
+    #[must_use]
+    pub fn bfs_partition(mut self) -> Self {
+        self.opts.partition_strategy = PartitionStrategy::Bfs;
+        self
+    }
+
+    /// User-designated reduction region: keep exactly these buses
+    /// (duplicates are dropped, order is irrelevant) and eliminate every
+    /// other bus. The partition is derived from the kept set instead of
+    /// `blocks`/the partition strategy, and the interface policy switches
+    /// to exact so kept boundary voltages are ROM coordinates verbatim —
+    /// call [`folded_interfaces`](Self::folded_interfaces) afterwards to
+    /// override that.
+    ///
+    /// Bus indices are validated against the concrete network at reduce
+    /// time (a [`bdsm_circuit::CircuitError::InvalidReductionSet`] wrapped
+    /// in the engine error); an empty list fails at
+    /// [`build`](Self::build) with [`BuildError::EmptyReductionSet`].
+    #[must_use]
+    pub fn keep_buses(mut self, buses: &[usize]) -> Self {
+        let mut kept = buses.to_vec();
+        kept.sort_unstable();
+        kept.dedup();
+        self.opts.kept_buses = Some(kept);
+        self.opts.interface_policy = InterfacePolicy::Exact;
+        self
+    }
+
     /// Validates the configuration and produces the immutable [`Reducer`].
     ///
     /// # Errors
@@ -365,6 +415,11 @@ fn validate(opts: &ReductionOpts) -> Result<(), BuildError> {
                 budget,
                 blocks: opts.num_blocks,
             });
+        }
+    }
+    if let Some(kept) = &opts.kept_buses {
+        if kept.is_empty() {
+            return Err(BuildError::EmptyReductionSet);
         }
     }
     let have_points =
@@ -487,6 +542,38 @@ mod tests {
             ShiftStrategy::Adaptive(_)
         ));
         assert_eq!(r.opts().interface_policy, InterfacePolicy::Exact);
+    }
+
+    #[test]
+    fn keep_buses_switches_to_exact_and_rejects_empty() {
+        let r = Reducer::builder()
+            .jomega_shifts(&[1.0e3])
+            .keep_buses(&[7, 3, 3, 5])
+            .build()
+            .unwrap();
+        assert_eq!(r.opts().kept_buses.as_deref(), Some(&[3, 5, 7][..]));
+        assert_eq!(r.opts().interface_policy, InterfacePolicy::Exact);
+        assert_eq!(
+            Reducer::builder()
+                .jomega_shifts(&[1.0e3])
+                .keep_buses(&[])
+                .build()
+                .unwrap_err(),
+            BuildError::EmptyReductionSet
+        );
+    }
+
+    #[test]
+    fn partition_strategy_is_recorded() {
+        let r = Reducer::builder()
+            .jomega_shifts(&[1.0e3])
+            .nested_dissection()
+            .build()
+            .unwrap();
+        assert_eq!(
+            r.opts().partition_strategy,
+            bdsm_circuit::PartitionStrategy::NestedDissection
+        );
     }
 
     #[test]

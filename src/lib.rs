@@ -49,8 +49,9 @@
 //!
 //! | stage      | crate          | entry points |
 //! |------------|----------------|--------------|
+//! | *ingest*   | [`io`]         | [`io::load_netlist`] / [`io::save_netlist`] — SPICE-subset netlist parser and structurally round-tripping writer |
 //! | *build*    | [`circuit`]    | [`circuit::Network`], [`circuit::mna::assemble`] |
-//! | *partition*| [`circuit`]    | [`circuit::partition::partition_network`] |
+//! | *partition*| [`circuit`]    | [`circuit::partition::partition_network_with`] ([`circuit::PartitionStrategy`]: BFS oracle or interface-aware nested dissection), [`circuit::ReductionSet`] for user-designated reduction regions |
 //! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`] (scalar/supernodal [`sparse::NumericKernel`], panel-blocked multi-RHS solves), [`sparse::ShiftedPencil`] |
 //! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`] and friends — the low-level path under [`rom::Reducer`], all over the staged [`core::engine::ReductionEngine`] (`Plan → Basis → Project → Certify`; adaptive shifts via [`core::engine::ShiftStrategy`], exact boundaries via [`core::projector::InterfacePolicy`]; parallel substrate: [`core::par`]) |
 //! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`], [`core::transfer::eval_transfer_factored`] |
@@ -66,6 +67,7 @@
 pub use bdsm_bench as bench;
 pub use bdsm_circuit as circuit;
 pub use bdsm_core as core;
+pub use bdsm_io as io;
 pub use bdsm_linalg as linalg;
 pub use bdsm_rom as rom;
 pub use bdsm_sim as sim;
@@ -73,7 +75,11 @@ pub use bdsm_sparse as sparse;
 
 /// Most-used types, for glob import.
 pub mod prelude {
-    pub use bdsm_circuit::{mna::assemble, partition::partition_network, Network, GROUND};
+    pub use bdsm_circuit::{
+        mna::assemble,
+        partition::{partition_network, partition_network_with, PartitionStrategy},
+        Network, ReductionSet, GROUND,
+    };
     pub use bdsm_core::engine::{
         AdaptiveShiftOpts, Certificate, EngineReport, ReductionEngine, ShiftStrategy,
     };
@@ -86,6 +92,9 @@ pub mod prelude {
     pub use bdsm_core::transfer::{
         eval_transfer, eval_transfer_factored, transfer_rel_err, SparseTransferEvaluator,
         TransferEvaluator,
+    };
+    pub use bdsm_io::{
+        load_netlist, parse_netlist, save_netlist, write_netlist, NetlistError, WriteError,
     };
     pub use bdsm_linalg::{Complex64, Matrix};
     pub use bdsm_rom::{
