@@ -214,6 +214,60 @@ fn gate_serve(current: &Json, baseline: &Json, factor: f64) -> bool {
     }
 }
 
+/// Prints the observability record of the current artifact — the
+/// top-level span durations of the `BDSM_OBS=spans` reduce and the
+/// `RomServer` cache accounting — next to the baseline's when it carries
+/// one (older baselines predate the record; that is not an error). Purely
+/// informational: the hard accounting bars (span coverage, exact cache
+/// balance) are asserted inside the scaling binary itself.
+fn show_obs(current: &Json, baseline: &Json) {
+    let cur = match current.get("obs") {
+        Some(o) if *o != Json::Null => o,
+        _ => {
+            println!("\n(obs record missing from current artifact; not shown)");
+            return;
+        }
+    };
+    let base = baseline.get("obs").filter(|o| **o != Json::Null);
+    println!(
+        "\n### Observability (n = {}, BDSM_OBS=spans, one worker)\n",
+        cur.num("n").unwrap_or(f64::NAN),
+    );
+    println!("| top-level span | total (ms) |");
+    println!("|---|---:|");
+    for span in cur
+        .get("top_spans")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+    {
+        let name = match span.get("name") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => "?",
+        };
+        println!(
+            "| {name} | {:.1} |",
+            span.num("total_us").unwrap_or(f64::NAN) / 1e3
+        );
+    }
+    println!("\n| metric | baseline | current |");
+    println!("|---|---:|---:|");
+    for (key, label) in [
+        ("span_count", "spans recorded"),
+        ("krylov_span_coverage", "krylov span coverage"),
+        ("cache_hit_rate", "serve cache hit rate"),
+        ("latency_p50_us", "serve latency p50 (µs)"),
+        ("latency_p95_us", "serve latency p95 (µs)"),
+        ("latency_p99_us", "serve latency p99 (µs)"),
+    ] {
+        println!(
+            "| {label} | {} | {} |",
+            base.and_then(|b| b.num(key))
+                .map_or("n/a".into(), |v| format!("{v:.4}")),
+            cur.num(key).map_or("n/a".into(), |v| format!("{v:.4}")),
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let current_path = args.first().map_or(DEFAULT_CURRENT, String::as_str);
@@ -266,14 +320,32 @@ fn main() -> ExitCode {
         "\nend-to-end reduce at n = {gate_n}: {cur_reduce:.1} µs vs baseline {base_reduce:.1} µs \
          ({ratio:.2}x, allowed ≤ {factor:.2}x)"
     );
-    if let (Some(serial), Some(parallel)) = (
-        cur_row.num("t_reduce_serial_us"),
-        cur_row.num("t_reduce_us"),
-    ) {
-        println!(
-            "parallel engine speedup (serial/parallel, same run): {:.2}x",
-            serial / parallel
-        );
+    match cur_row.get("reduce_parallel_speedup") {
+        // A null speedup is the bench saying the parallel leg ran on one
+        // worker — there was no parallel/serial contrast to report.
+        Some(Json::Null) => {
+            println!("parallel engine speedup: n/a (parallel leg ran on a single worker)");
+        }
+        Some(s) => {
+            if let Some(s) = s.as_f64() {
+                let workers = cur_row
+                    .num("reduce_workers")
+                    .map_or(String::new(), |w| format!(" on {w:.0} workers"));
+                println!("parallel engine speedup (serial/parallel, same run): {s:.2}x{workers}");
+            }
+        }
+        // Pre-obs artifact schema: derive it from the raw leg times.
+        None => {
+            if let (Some(serial), Some(parallel)) = (
+                cur_row.num("t_reduce_serial_us"),
+                cur_row.num("t_reduce_us"),
+            ) {
+                println!(
+                    "parallel engine speedup (serial/parallel, same run): {:.2}x",
+                    serial / parallel
+                );
+            }
+        }
     }
     if ratio > factor {
         println!("\n**GATE FAILED**: reduce time regressed {ratio:.2}x (> {factor:.2}x)");
@@ -288,6 +360,7 @@ fn main() -> ExitCode {
     if !gate_serve(&current, &baseline, factor) {
         return ExitCode::FAILURE;
     }
+    show_obs(&current, &baseline);
     println!("\ngate passed");
     ExitCode::SUCCESS
 }

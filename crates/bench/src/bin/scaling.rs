@@ -28,11 +28,20 @@
 //! - `t_rom_eval_us`, `mem_*_bytes` — ROM sample cost and factor-storage
 //!   proxies, as before.
 //!
-//! When the size list includes 10,000, three scenario records are added:
+//! When the size list includes 10,000, four scenario records are added:
 //! `transient` (full vs reduced backward-Euler on a 100×100 mesh),
-//! `adaptive` (greedy shift selection vs the fixed 8-point set), and
+//! `adaptive` (greedy shift selection vs the fixed 8-point set),
 //! `serve` (adaptive+exact ROM → artifact save/load → 64-frequency ×
-//! all-port `RomServer` batch, cold and cache-warm).
+//! all-port `RomServer` batch, cold and cache-warm), and `obs`
+//! (`BDSM_OBS=spans` reduce on one worker — asserts the per-point Krylov
+//! spans sum to the krylov stage time within 5 %, saves the Chrome trace
+//! as `BENCH_trace_10k.json`, and checks the `RomServer` cache accounting
+//! exactly, dumping global + server metrics as `BENCH_metrics.json`).
+//!
+//! Every speedup field records the worker count the parallel leg actually
+//! ran with (`par::worker_count`); on a single-worker host the parallel
+//! and serial legs are the same experiment, so the speedup is emitted as
+//! `null` rather than a fabricated 1.0x.
 
 use bdsm_bench::time_with_warmup;
 use bdsm_circuit::{mna, partition_network_with, PartitionStrategy};
@@ -42,6 +51,7 @@ use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
 use bdsm_core::transfer::{eval_transfer, SparseTransferEvaluator, ZLu};
 use bdsm_core::{par, ReducedModel};
 use bdsm_linalg::{Complex64, KERNEL_SHAPE};
+use bdsm_obs::ObsLevel;
 use bdsm_rom::{Reducer, RomArtifact, RomServer};
 use bdsm_sim::TransientSolver;
 use bdsm_sparse::{LuWorkspace, NumericKernel, ShiftedPencil};
@@ -70,9 +80,11 @@ struct Row {
     t_dense_us: Option<f64>,
     t_reduce_us: f64,
     t_reduce_serial_us: f64,
+    reduce_workers: usize,
     stages: StageTimings,
     t_sweep_us: f64,
     t_sweep_serial_us: f64,
+    sweep_workers: usize,
     t_rom_eval_us: f64,
     reduced_dim: usize,
 }
@@ -125,6 +137,20 @@ struct ServeRow {
     t_serve_warm_us: f64,
     queries_per_sec: f64,
     queries_per_sec_warm: f64,
+}
+
+struct ObsRow {
+    n: usize,
+    span_count: usize,
+    top_spans: Vec<(&'static str, f64)>,
+    stage_krylov_us: f64,
+    krylov_span_coverage: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+    latency_p50_us: f64,
+    latency_p95_us: f64,
+    latency_p99_us: f64,
 }
 
 /// Runs `f` with the fan-out pinned to one worker, restoring the previous
@@ -226,6 +252,10 @@ fn main() -> Result<(), BenchError> {
         // cold-allocator cost (the serial run would otherwise absorb all
         // of it and inflate the reported parallel speedup).
         let reducer = reducer_for(n)?;
+        // What the parallel leg actually fans out over: the per-shift
+        // Krylov sweeps are the widest stage, so its worker count is the
+        // honest one to attach to the speedup.
+        let reduce_workers = par::worker_count(reducer.opts().krylov.jomega_points.len());
         std::hint::black_box(reducer.reduce_timed(&net)?);
         let t_reduce_serial_us = with_serial_engine(|| {
             let t0 = Instant::now();
@@ -235,14 +265,22 @@ fn main() -> Result<(), BenchError> {
         let t0 = Instant::now();
         let (rm, stages) = reducer.reduce_timed(&net)?;
         let t_reduce_us = t0.elapsed().as_secs_f64() * 1e6;
-        println!(
-            "  reduce {n} -> {} states: {:.1} ms parallel vs {:.1} ms serial ({:.2}x on {} workers)",
-            rm.reduced_dim(),
-            t_reduce_us / 1e3,
-            t_reduce_serial_us / 1e3,
-            t_reduce_serial_us / t_reduce_us,
-            stages.threads,
-        );
+        if reduce_workers > 1 {
+            println!(
+                "  reduce {n} -> {} states: {:.1} ms parallel vs {:.1} ms serial ({:.2}x on {} workers)",
+                rm.reduced_dim(),
+                t_reduce_us / 1e3,
+                t_reduce_serial_us / 1e3,
+                t_reduce_serial_us / t_reduce_us,
+                reduce_workers,
+            );
+        } else {
+            println!(
+                "  reduce {n} -> {} states: {:.1} ms (single worker; no parallel/serial contrast)",
+                rm.reduced_dim(),
+                t_reduce_us / 1e3,
+            );
+        }
         println!(
             "    stages: assemble {:.1} ms, partition {:.1} ms, krylov {:.1} ms, svd {:.1} ms, project {:.1} ms",
             stages.assemble_us / 1e3,
@@ -273,12 +311,21 @@ fn main() -> Result<(), BenchError> {
         let t0 = Instant::now();
         std::hint::black_box(full_ev.eval_jomega_sweep(&SWEEP_FREQS)?);
         let t_sweep_us = t0.elapsed().as_secs_f64() * 1e6;
-        println!(
-            "  full sweep ({} freqs): {:.1} ms parallel vs {:.1} ms serial",
-            SWEEP_FREQS.len(),
-            t_sweep_us / 1e3,
-            t_sweep_serial_us / 1e3
-        );
+        let sweep_workers = par::worker_count(SWEEP_FREQS.len());
+        if sweep_workers > 1 {
+            println!(
+                "  full sweep ({} freqs): {:.1} ms parallel vs {:.1} ms serial",
+                SWEEP_FREQS.len(),
+                t_sweep_us / 1e3,
+                t_sweep_serial_us / 1e3
+            );
+        } else {
+            println!(
+                "  full sweep ({} freqs): {:.1} ms (single worker)",
+                SWEEP_FREQS.len(),
+                t_sweep_us / 1e3,
+            );
+        }
 
         let t_rom = time_with_warmup("rom-eval", 1, 5, || {
             std::hint::black_box(eval_transfer(&rm.g, &rm.c, &rm.b, &rm.l, s).expect("rom eval"));
@@ -297,9 +344,11 @@ fn main() -> Result<(), BenchError> {
             t_dense_us,
             t_reduce_us,
             t_reduce_serial_us,
+            reduce_workers,
             stages,
             t_sweep_us,
             t_sweep_serial_us,
+            sweep_workers,
             t_rom_eval_us,
             reduced_dim: rm.reduced_dim(),
         });
@@ -310,6 +359,8 @@ fn main() -> Result<(), BenchError> {
     let transient = at_scale.then(transient_scenario).transpose()?;
     let adaptive = at_scale.then(adaptive_scenario).transpose()?;
     let serve = at_scale.then(serve_scenario).transpose()?;
+    // Last: it flips the process-global obs level while it runs.
+    let obs = at_scale.then(obs_scenario).transpose()?;
 
     let json = render_json(
         threads,
@@ -318,6 +369,7 @@ fn main() -> Result<(), BenchError> {
         transient.as_ref(),
         serve.as_ref(),
         adaptive.as_ref(),
+        obs.as_ref(),
     );
     std::fs::write("BENCH_scaling.json", &json)?;
     println!("wrote BENCH_scaling.json ({} sizes)", rows.len());
@@ -586,6 +638,112 @@ fn serve_scenario() -> Result<ServeRow, BenchError> {
     })
 }
 
+/// Observability at scale: the n = 10⁴ reduce under `BDSM_OBS=spans`,
+/// pinned to one worker so span self-times sum to stage wall-clock (with
+/// `W` workers the per-point spans overlap and sum to ~`W×` the stage
+/// time). Asserts the tentpole's accounting bars — the per-point Krylov
+/// spans (`krylov.point` + `krylov.merge`) must sum to `stage_krylov_us`
+/// within 5 %, and the `RomServer` cache counters must balance exactly —
+/// then saves the Chrome trace (`BENCH_trace_10k.json`) and the global +
+/// server metrics dump (`BENCH_metrics.json`) for the CI artifact trail.
+fn obs_scenario() -> Result<ObsRow, BenchError> {
+    const N: usize = 10_000;
+    println!("--- obs: n = {N} ladder reduce + serve under BDSM_OBS=spans, one worker ---");
+    let prev_level = bdsm_obs::level();
+    bdsm_obs::set_level(ObsLevel::Spans);
+    bdsm_obs::metrics().reset();
+    let row = with_serial_engine(|| obs_scenario_body(N));
+    bdsm_obs::set_level(prev_level);
+    row
+}
+
+fn obs_scenario_body(n: usize) -> Result<ObsRow, BenchError> {
+    let net = rc_ladder_loaded(n, 1.0, 1e-3, 5.0, 5);
+    let reducer = reducer_for(n)?;
+    let (rm, report, stages) = reducer.reduce_traced(&net)?;
+    let trace = &report.trace;
+    let per_point_us = trace.total_us("krylov.point") + trace.total_us("krylov.merge");
+    let coverage = per_point_us / stages.krylov_us;
+    trace.save_chrome("BENCH_trace_10k.json")?;
+    println!(
+        "  trace: {} spans -> BENCH_trace_10k.json; per-point krylov spans cover {:.1} % of stage_krylov_us",
+        trace.len(),
+        coverage * 100.0,
+    );
+    for (name, us) in trace.top_level_totals_us() {
+        println!("    {name}: {:.1} ms", us / 1e3);
+    }
+    assert!(
+        (0.95..=1.05).contains(&coverage),
+        "krylov span accounting broke: per-point spans sum to {per_point_us:.1} µs \
+         but stage_krylov_us is {:.1} µs (coverage {coverage:.3}, required within 5 %)",
+        stages.krylov_us,
+    );
+
+    // Serve the freshly reduced ROM: one cold and one warm 64-frequency
+    // batch, then hold the cache counters to their exact contract.
+    let artifact = RomArtifact::from_model(&rm, Some(&report));
+    let mut server = RomServer::new();
+    let id = server.load_artifact(artifact);
+    let omegas: Vec<f64> = (0..SERVE_FREQS)
+        .map(|i| 50.0 * (4.0e3_f64 / 50.0).powf(i as f64 / (SERVE_FREQS - 1) as f64))
+        .collect();
+    std::hint::black_box(server.transfer_sweep(id, &omegas)?);
+    std::hint::black_box(server.transfer_sweep(id, &omegas)?);
+    let m = server.metrics();
+    let cached = server.cached_shifts(id)?;
+    assert_eq!(
+        m.queries(),
+        2 * SERVE_FREQS as u64,
+        "every served sample must be classified hit-or-miss"
+    );
+    assert_eq!(
+        m.cache.misses as usize, cached,
+        "cache misses must equal distinct cached shifts"
+    );
+    assert_eq!(
+        m.cache.misses as usize, SERVE_FREQS,
+        "cold batch must miss exactly once per frequency"
+    );
+    assert_eq!(
+        m.cache.inserts, m.cache.misses,
+        "every miss must insert exactly once"
+    );
+    println!(
+        "  serve: {} queries, hit rate {:.2}, latency p50 {:.1} µs / p95 {:.1} µs / p99 {:.1} µs",
+        m.queries(),
+        m.hit_rate(),
+        m.latency_us.p50_us,
+        m.latency_us.p95_us,
+        m.latency_us.p99_us,
+    );
+
+    let global = bdsm_obs::metrics().snapshot();
+    std::fs::write(
+        "BENCH_metrics.json",
+        format!(
+            "{{\n  \"global\": {},\n  \"server\": {}\n}}\n",
+            global.to_json(),
+            m.to_json()
+        ),
+    )?;
+    println!("  wrote BENCH_metrics.json (global counters + server cache/latency)");
+
+    Ok(ObsRow {
+        n,
+        span_count: trace.len(),
+        top_spans: trace.top_level_totals_us(),
+        stage_krylov_us: stages.krylov_us,
+        krylov_span_coverage: coverage,
+        cache_hits: m.cache.hits,
+        cache_misses: m.cache.misses,
+        hit_rate: m.hit_rate(),
+        latency_p50_us: m.latency_us.p50_us,
+        latency_p95_us: m.latency_us.p95_us,
+        latency_p99_us: m.latency_us.p99_us,
+    })
+}
+
 fn run_transient(
     solver: Result<TransientSolver, bdsm_linalg::LinalgError>,
     rm: &ReducedModel,
@@ -613,6 +771,7 @@ fn render_json(
     transient: Option<&TransientRow>,
     serve: Option<&ServeRow>,
     adaptive: Option<&AdaptiveRow>,
+    obs: Option<&ObsRow>,
 ) -> String {
     let mut out = format!(
         "{{\n  \"bench\": \"scaling\",\n  \"topology\": \"rc_ladder_loaded\",\n  \"omega\": {OMEGA_MID:.1},\n  \"threads\": {threads},\n  \"kernel_fused_rank1\": {},\n  \"results\": [\n",
@@ -627,16 +786,29 @@ fn render_json(
             .map_or("null".to_string(), |v| format!("{:.2}", v / r.t_sparse_us));
         let mem_sparse = 16 * r.factor_nnz;
         let mem_dense = 16usize.saturating_mul(r.n).saturating_mul(r.n);
+        // With one worker the "parallel" and "serial" legs ran the same
+        // code path — a speedup there would be fiction, so emit null.
+        let reduce_speedup = if r.reduce_workers > 1 {
+            format!("{:.2}", r.t_reduce_serial_us / r.t_reduce_us)
+        } else {
+            "null".to_string()
+        };
+        let sweep_speedup = if r.sweep_workers > 1 {
+            format!("{:.2}", r.t_sweep_serial_us / r.t_sweep_us)
+        } else {
+            "null".to_string()
+        };
         writeln!(
             out,
             "    {{\"n\": {}, \"nnz\": {}, \"factor_nnz\": {}, \
              \"t_sparse_factor_solve_us\": {:.1}, \"t_factor_scalar_us\": {:.1}, \
              \"t_dense_factor_solve_us\": {}, \"sparse_speedup\": {}, \
              \"t_reduce_us\": {:.1}, \"t_reduce_serial_us\": {:.1}, \
-             \"reduce_parallel_speedup\": {:.2}, \
+             \"reduce_workers\": {}, \"reduce_parallel_speedup\": {}, \
              \"stage_assemble_us\": {:.1}, \"stage_partition_us\": {:.1}, \
              \"stage_krylov_us\": {:.1}, \"stage_svd_us\": {:.1}, \"stage_project_us\": {:.1}, \
-             \"t_sweep_us\": {:.1}, \"t_sweep_serial_us\": {:.1}, \"sweep_frequencies\": {}, \
+             \"t_sweep_us\": {:.1}, \"t_sweep_serial_us\": {:.1}, \
+             \"sweep_workers\": {}, \"sweep_parallel_speedup\": {}, \"sweep_frequencies\": {}, \
              \"t_rom_eval_us\": {:.1}, \"reduced_dim\": {}, \
              \"mem_sparse_bytes\": {}, \"mem_dense_bytes\": {}}}{}",
             r.n,
@@ -648,7 +820,8 @@ fn render_json(
             speedup,
             r.t_reduce_us,
             r.t_reduce_serial_us,
-            r.t_reduce_serial_us / r.t_reduce_us,
+            r.reduce_workers,
+            reduce_speedup,
             r.stages.assemble_us,
             r.stages.partition_us,
             r.stages.krylov_us,
@@ -656,6 +829,8 @@ fn render_json(
             r.stages.project_us,
             r.t_sweep_us,
             r.t_sweep_serial_us,
+            r.sweep_workers,
+            sweep_speedup,
             SWEEP_FREQS.len(),
             r.t_rom_eval_us,
             r.reduced_dim,
@@ -742,7 +917,7 @@ fn render_json(
              \"adaptive_overhead\": {:.2}, \"rounds\": {}, \"certified\": {}, \
              \"worst_residual\": {:.3e}, \"shifts_chosen\": {}, \
              \"residual_trajectory\": {}, \"reduced_dim\": {}, \
-             \"reduced_dim_fixed\": {}, \"basis_cols\": {}, \"basis_cols_fixed\": {}}}",
+             \"reduced_dim_fixed\": {}, \"basis_cols\": {}, \"basis_cols_fixed\": {}}},",
             a.n,
             a.t_adaptive_us,
             a.t_fixed_us,
@@ -758,7 +933,37 @@ fn render_json(
             a.basis_cols_fixed,
         )
         .expect("string write"),
-        None => out.push_str("  \"adaptive\": null\n"),
+        None => out.push_str("  \"adaptive\": null,\n"),
+    }
+    match obs {
+        Some(o) => {
+            let spans: Vec<String> = o
+                .top_spans
+                .iter()
+                .map(|(name, us)| format!("{{\"name\": \"{name}\", \"total_us\": {us:.1}}}"))
+                .collect();
+            writeln!(
+                out,
+                "  \"obs\": {{\"topology\": \"rc_ladder_loaded\", \"n\": {}, \"level\": \"spans\", \
+                 \"span_count\": {}, \"top_spans\": [{}], \
+                 \"stage_krylov_us\": {:.1}, \"krylov_span_coverage\": {:.4}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+                 \"latency_p50_us\": {:.1}, \"latency_p95_us\": {:.1}, \"latency_p99_us\": {:.1}}}",
+                o.n,
+                o.span_count,
+                spans.join(", "),
+                o.stage_krylov_us,
+                o.krylov_span_coverage,
+                o.cache_hits,
+                o.cache_misses,
+                o.hit_rate,
+                o.latency_p50_us,
+                o.latency_p95_us,
+                o.latency_p99_us,
+            )
+            .expect("string write")
+        }
+        None => out.push_str("  \"obs\": null\n"),
     }
     out.push_str("}\n");
     out

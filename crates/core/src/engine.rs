@@ -42,8 +42,8 @@ use bdsm_circuit::{
     Network, Partition, ReductionSet,
 };
 use bdsm_linalg::{LinalgError, Matrix};
+use bdsm_obs::{timing_span, Trace};
 use bdsm_sparse::ShiftedPencil;
-use std::time::Instant;
 
 /// How the Basis stage chooses its Krylov expansion points.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -194,6 +194,10 @@ pub struct EngineReport {
     /// `true` when the adaptive loop met its residual tolerance on the
     /// candidate grid (always `false` for the uncertified fixed path).
     pub certified: bool,
+    /// The span trace of the run (stage spans always; per-shift/per-block
+    /// spans when `BDSM_OBS=spans`). Empty for stage-recomposition
+    /// callers that never went through [`ReductionEngine::run`].
+    pub trace: Trace,
 }
 
 /// The staged reduction engine. Construct with [`ReductionEngine::new`],
@@ -256,22 +260,19 @@ impl<'n> ReductionEngine<'n> {
     /// Propagates assembly/partitioning failures and rejects a reduced
     /// dimension budget below the block count.
     pub fn plan(&self) -> Result<Plan> {
-        self.plan_timed(&mut StageTimings::default())
-    }
-
-    fn plan_timed(&self, stages: &mut StageTimings) -> Result<Plan> {
-        let t0 = Instant::now();
+        let _stage = timing_span!("stage.plan");
         let desc = mna::assemble(self.net)?;
-        let t1 = Instant::now();
-        let partition = match &self.opts.kept_buses {
-            Some(kept) => ReductionSet::keep_buses(self.net, kept)?.to_partition(self.net)?,
-            None => partition_network_with(
-                self.net,
-                self.opts.num_blocks,
-                self.opts.partition_strategy,
-            )?,
+        let partition = {
+            let _s = timing_span!("stage.partition");
+            match &self.opts.kept_buses {
+                Some(kept) => ReductionSet::keep_buses(self.net, kept)?.to_partition(self.net)?,
+                None => partition_network_with(
+                    self.net,
+                    self.opts.num_blocks,
+                    self.opts.partition_strategy,
+                )?,
+            }
         };
-        stages.partition_us = t1.elapsed().as_secs_f64() * 1e6;
         let (new_of_old, block_sizes) = grouped_state_order(self.net, &desc, &partition);
         let full = SparseDescriptor {
             g: desc.g.permute_symmetric(&new_of_old).to_csc(),
@@ -311,7 +312,6 @@ impl<'n> ReductionEngine<'n> {
             SolverBackend::Sparse => (Some(ShiftedPencil::new(&full.g, &full.c)?), None),
             SolverBackend::Dense => (None, Some(full.to_dense())),
         };
-        stages.assemble_us = t0.elapsed().as_secs_f64() * 1e6 - stages.partition_us;
         Ok(Plan {
             partition,
             state_order: new_of_old,
@@ -491,20 +491,32 @@ impl<'n> ReductionEngine<'n> {
 
     /// [`run`](Self::run) with the per-stage wall-clock breakdown.
     ///
+    /// The whole pipeline executes inside a `bdsm_obs` trace session, so
+    /// the returned [`StageTimings`] is a view over the span trace (also
+    /// surfaced on [`EngineReport::trace`]); `BDSM_OBS=spans` adds
+    /// per-shift / per-block / per-frequency detail to the same trace.
+    ///
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
     pub fn run_timed(&self) -> Result<(ReducedModel, EngineReport, StageTimings)> {
-        let mut stages = StageTimings {
-            threads: crate::par::max_threads(),
-            ..StageTimings::default()
-        };
-        let plan = self.plan_timed(&mut stages)?;
-        let (rom, report) = match self.opts.shift_strategy.clone() {
-            ShiftStrategy::Fixed => self.run_fixed(&plan, &mut stages)?,
-            ShiftStrategy::Adaptive(a) => self.run_adaptive(&plan, &a, &mut stages)?,
-        };
+        let (result, trace) = Trace::collect(|| self.run_staged());
+        let (rm, mut report) = result?;
+        let mut stages = StageTimings::from_trace(&trace);
+        stages.threads = crate::par::max_threads();
         stages.adaptive_rounds = report.rounds.len();
+        report.trace = trace;
+        Ok((rm, report, stages))
+    }
+
+    /// The pipeline body `run_timed` traces: Plan, then the strategy's
+    /// Basis → Project (→ Certify) loop, then descriptor assembly.
+    fn run_staged(&self) -> Result<(ReducedModel, EngineReport)> {
+        let plan = self.plan()?;
+        let (rom, report) = match self.opts.shift_strategy.clone() {
+            ShiftStrategy::Fixed => self.run_fixed(&plan)?,
+            ShiftStrategy::Adaptive(a) => self.run_adaptive(&plan, &a)?,
+        };
         let rm = ReducedModel {
             g: rom.g,
             c: rom.c,
@@ -518,27 +530,31 @@ impl<'n> ReductionEngine<'n> {
             full: plan.full,
             backend: self.opts.backend,
         };
-        Ok((rm, report, stages))
+        Ok((rm, report))
     }
 
     /// One pass of Basis → Project with the fixed [`KrylovOpts`](crate::krylov::KrylovOpts) points —
     /// the historical pipeline, stage by stage.
-    fn run_fixed(&self, plan: &Plan, stages: &mut StageTimings) -> Result<(Rom, EngineReport)> {
+    fn run_fixed(&self, plan: &Plan) -> Result<(Rom, EngineReport)> {
         let points = collect_points(&self.opts.krylov);
-        let t = Instant::now();
-        let global = self.basis(plan, &points)?;
-        stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
-        let t = Instant::now();
-        let projector = self.projector(plan, &global)?;
-        stages.svd_us += t.elapsed().as_secs_f64() * 1e6;
-        let t = Instant::now();
-        let rom = self.congruence(plan, &projector)?;
-        stages.project_us += t.elapsed().as_secs_f64() * 1e6;
+        let global = {
+            let _s = timing_span!("stage.krylov", points = points.len());
+            self.basis(plan, &points)?
+        };
+        let projector = {
+            let _s = timing_span!("stage.svd");
+            self.projector(plan, &global)?
+        };
+        let rom = {
+            let _s = timing_span!("stage.project");
+            self.congruence(plan, &projector)?
+        };
         let report = EngineReport {
             shifts: points,
             basis_cols: global.ncols(),
             rounds: Vec::new(),
             certified: false,
+            trace: Trace::default(),
         };
         Ok((rom, report))
     }
@@ -547,12 +563,7 @@ impl<'n> ReductionEngine<'n> {
     /// initial points, one worst-residual candidate at a time, re-using
     /// the symbolic pencil and the per-point candidate cache across
     /// rounds.
-    fn run_adaptive(
-        &self,
-        plan: &Plan,
-        a: &AdaptiveShiftOpts,
-        stages: &mut StageTimings,
-    ) -> Result<(Rom, EngineReport)> {
+    fn run_adaptive(&self, plan: &Plan, a: &AdaptiveShiftOpts) -> Result<(Rom, EngineReport)> {
         let mut points = collect_points(&self.opts.krylov);
         if points.is_empty() {
             // Coarse seed: the geometric middle of the candidate grid.
@@ -564,31 +575,37 @@ impl<'n> ReductionEngine<'n> {
         // Per-point candidate cache, in merge order (initial points, then
         // greedy additions). A point's candidates are a pure function of
         // that point, so they are computed exactly once.
-        let t = Instant::now();
-        let mut cache = collect_ok(self.candidate_sets(plan, &points))?;
-        stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
+        let mut cache = {
+            let _s = timing_span!("stage.krylov", points = points.len());
+            collect_ok(self.candidate_sets(plan, &points))?
+        };
 
         // The full model never changes across rounds: its candidate-grid
         // sweep is computed once and re-used by every certification.
-        let t = Instant::now();
-        let full_sweep = self.full_sweep(plan, &a.candidate_omegas)?;
-        stages.certify_us += t.elapsed().as_secs_f64() * 1e6;
+        let full_sweep = {
+            let _s = timing_span!("stage.certify", grid = a.candidate_omegas.len());
+            self.full_sweep(plan, &a.candidate_omegas)?
+        };
 
         let mut rounds: Vec<RoundRecord> = Vec::new();
         let mut certified = false;
         let (rom, basis_cols) = loop {
-            let t = Instant::now();
-            let global = merge_candidate_sets(&cache, self.opts.krylov.deflation_tol)?;
-            stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
-            let t = Instant::now();
-            let projector = self.projector(plan, &global)?;
-            stages.svd_us += t.elapsed().as_secs_f64() * 1e6;
-            let t = Instant::now();
-            let rom = self.congruence(plan, &projector)?;
-            stages.project_us += t.elapsed().as_secs_f64() * 1e6;
-            let t = Instant::now();
-            let cert = self.certify_against(&rom, &a.candidate_omegas, &full_sweep)?;
-            stages.certify_us += t.elapsed().as_secs_f64() * 1e6;
+            let global = {
+                let _s = timing_span!("stage.krylov");
+                merge_candidate_sets(&cache, self.opts.krylov.deflation_tol)?
+            };
+            let projector = {
+                let _s = timing_span!("stage.svd");
+                self.projector(plan, &global)?
+            };
+            let rom = {
+                let _s = timing_span!("stage.project");
+                self.congruence(plan, &projector)?
+            };
+            let cert = {
+                let _s = timing_span!("stage.certify");
+                self.certify_against(&rom, &a.candidate_omegas, &full_sweep)?
+            };
 
             rounds.push(RoundRecord {
                 points: points.len(),
@@ -625,9 +642,10 @@ impl<'n> ReductionEngine<'n> {
             };
             rounds.last_mut().expect("round pushed").added_omega = Some(w_next);
             let pt = ExpansionPoint::Jomega(w_next);
-            let t = Instant::now();
-            cache.extend(collect_ok(self.candidate_sets(plan, &[pt]))?);
-            stages.krylov_us += t.elapsed().as_secs_f64() * 1e6;
+            {
+                let _s = timing_span!("stage.krylov");
+                cache.extend(collect_ok(self.candidate_sets(plan, &[pt]))?);
+            }
             points.push(pt);
         };
         let report = EngineReport {
@@ -635,6 +653,7 @@ impl<'n> ReductionEngine<'n> {
             basis_cols,
             rounds,
             certified,
+            trace: Trace::default(),
         };
         Ok((rom, report))
     }

@@ -35,6 +35,15 @@
 //! measurements or for forcing the threaded code paths on small machines).
 //! One item — or one hardware thread — short-circuits to a plain serial
 //! loop with zero spawn overhead.
+//!
+//! # Observability
+//!
+//! When the caller holds a live `bdsm_obs` trace session, each spawned
+//! worker records a `par.worker` span (items claimed, busy time, queue
+//! wait) plus whatever spans the mapped closure opens; worker buffers
+//! are merged back **in spawn order**, so traces are as deterministic
+//! as the results. With observability off this costs one atomic load
+//! per fan-out.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -93,25 +102,49 @@ where
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    // Inert (and free) unless the calling thread holds a live trace
+    // session: workers then record their spans into private buffers that
+    // are adopted below in spawn order, keeping traces deterministic.
+    let obs = bdsm_obs::fork();
     std::thread::scope(|scope| {
+        let next = &next;
+        let init = &init;
+        let f = &f;
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut out: Vec<(usize, O)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
+            .map(|w| {
+                scope.spawn(move || {
+                    bdsm_obs::with_worker(obs, w as u32 + 1, || {
+                        let mut span = bdsm_obs::span!("par.worker", worker = w);
+                        let mut state = init();
+                        let mut out: Vec<(usize, O)> = Vec::new();
+                        let mut busy_ns = 0u64;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            let t = span.is_recording().then(std::time::Instant::now);
+                            out.push((i, f(&mut state, i, &items[i])));
+                            if let Some(t) = t {
+                                busy_ns += t.elapsed().as_nanos() as u64;
+                            }
                         }
-                        out.push((i, f(&mut state, i, &items[i])));
-                    }
-                    out
+                        if span.is_recording() {
+                            // Queue wait = lifetime minus time spent in items.
+                            let wait_ns = span.elapsed_ns().saturating_sub(busy_ns);
+                            span.attr("items", out.len());
+                            span.attr("busy_us", busy_ns / 1_000);
+                            span.attr("wait_us", wait_ns / 1_000);
+                        }
+                        out
+                    })
                 })
             })
             .collect();
         for h in handles {
-            for (i, o) in h.join().expect("fan-out worker panicked") {
+            let (out, events) = h.join().expect("fan-out worker panicked");
+            bdsm_obs::adopt(events);
+            for (i, o) in out {
                 slots[i] = Some(o);
             }
         }

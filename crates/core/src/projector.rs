@@ -126,7 +126,8 @@ impl BlockDiagProjector {
             ));
             row0 += size;
         }
-        let blocks = crate::par::parallel_map(&slices, |_, (slice, iface)| {
+        let blocks = crate::par::parallel_map(&slices, |bi, (slice, iface)| {
+            let _s = bdsm_obs::span!("svd.block", block = bi, rows = slice.nrows());
             compress_block_interface(slice, rank_tol, max_block_dim, iface)
         })
         .into_iter()
@@ -212,6 +213,7 @@ impl BlockDiagProjector {
             }
         }
         let partials = crate::par::parallel_map(&pairs, |_, &(bi, bj)| {
+            let _s = bdsm_obs::span!("project.pair", i = bi, j = bj);
             self.project_block_pair(a, bi, bj, &row_nz[bi], &row_nz[bj])
         });
         let mut out = Matrix::zeros(self.ncols(), self.ncols());

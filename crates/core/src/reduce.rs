@@ -299,6 +299,24 @@ impl StageTimings {
             + self.project_us
             + self.certify_us
     }
+
+    /// The stage view of an engine span trace: same-named `stage.*`
+    /// spans sum across adaptive rounds, and assembly is the part of
+    /// `stage.plan` not spent partitioning. `adaptive_rounds` and
+    /// `threads` are not derivable from spans; the engine fills them in.
+    pub fn from_trace(trace: &bdsm_obs::Trace) -> StageTimings {
+        let partition_us = trace.total_us("stage.partition");
+        StageTimings {
+            assemble_us: (trace.total_us("stage.plan") - partition_us).max(0.0),
+            partition_us,
+            krylov_us: trace.total_us("stage.krylov"),
+            svd_us: trace.total_us("stage.svd"),
+            project_us: trace.total_us("stage.project"),
+            certify_us: trace.total_us("stage.certify"),
+            adaptive_rounds: 0,
+            threads: 0,
+        }
+    }
 }
 
 /// Runs the full BDSM reduction pipeline on a network.
@@ -324,8 +342,23 @@ pub fn reduce_network_timed(
     net: &Network,
     opts: &ReductionOpts,
 ) -> Result<(ReducedModel, StageTimings)> {
-    let (rm, _report, stages) = ReductionEngine::new(net, opts)?.run_timed()?;
+    let (rm, _report, stages) = reduce_network_traced(net, opts)?;
     Ok((rm, stages))
+}
+
+/// [`reduce_network`] with the full observability bundle: the audit
+/// report — whose [`EngineReport::trace`] carries the span trace of the
+/// run, at whatever detail the ambient `bdsm_obs` level recorded — plus
+/// the [`StageTimings`] view derived from that trace.
+///
+/// # Errors
+///
+/// Same as [`reduce_network`].
+pub fn reduce_network_traced(
+    net: &Network,
+    opts: &ReductionOpts,
+) -> Result<(ReducedModel, EngineReport, StageTimings)> {
+    ReductionEngine::new(net, opts)?.run_timed()
 }
 
 /// [`reduce_network`] with the engine's audit report attached: the final

@@ -122,6 +122,7 @@ impl ZLu {
             });
         }
         let n = g.nrows();
+        let _span = bdsm_obs::span!("lu.factor", n = n, backend = "dense-z");
         let mut lu: Vec<Complex64> = Vec::with_capacity(n * n);
         for i in 0..n {
             for j in 0..n {
@@ -377,9 +378,12 @@ impl TransferEvaluator {
     ///
     /// Propagates the first evaluation failure (in frequency order).
     pub fn eval_jomega_sweep(&self, omegas: &[f64]) -> Result<Vec<CMatrix>> {
-        crate::par::parallel_map(omegas, |_, &w| self.eval(Complex64::jomega(w)))
-            .into_iter()
-            .collect()
+        crate::par::parallel_map(omegas, |_, &w| {
+            let _s = bdsm_obs::span!("sweep.freq", omega = w, backend = "dense");
+            self.eval(Complex64::jomega(w))
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -479,6 +483,7 @@ impl SparseTransferEvaluator {
     /// Propagates the first evaluation failure (in frequency order).
     pub fn eval_jomega_sweep(&self, omegas: &[f64]) -> Result<Vec<CMatrix>> {
         crate::par::parallel_map_with(omegas, LuWorkspace::new, |ws, _, &w| {
+            let _s = bdsm_obs::span!("sweep.freq", omega = w, backend = "sparse");
             self.eval_with(Complex64::jomega(w), ws)
         })
         .into_iter()

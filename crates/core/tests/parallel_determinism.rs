@@ -71,6 +71,41 @@ fn reduced_model_is_bitwise_invariant_under_thread_count() {
     }
 }
 
+/// The observability layer's zero-interference contract: recording spans
+/// and metrics must never change a numerical result. The same reduction
+/// runs under every `ObsLevel` × worker-count combination, and all six
+/// reduced models must be byte-identical.
+#[test]
+fn reduced_model_is_bitwise_invariant_under_obs_level() {
+    use bdsm_obs::ObsLevel;
+    let _guard = ENV_LOCK.lock().unwrap();
+    let net = rc_ladder_loaded(400, 1.0, 1e-3, 5.0, 5);
+    let opts = engine_opts();
+    let prev = std::env::var("BDSM_THREADS").ok();
+    let prev_level = bdsm_obs::level();
+    let mut outputs = Vec::new();
+    for level in [ObsLevel::Off, ObsLevel::Timings, ObsLevel::Spans] {
+        bdsm_obs::set_level(level);
+        for threads in ["1", "5"] {
+            std::env::set_var("BDSM_THREADS", threads);
+            let rm = reduce_network(&net, &opts).unwrap();
+            outputs.push((level, threads, model_bytes(&rm)));
+        }
+    }
+    bdsm_obs::set_level(prev_level);
+    match prev {
+        Some(v) => std::env::set_var("BDSM_THREADS", v),
+        None => std::env::remove_var("BDSM_THREADS"),
+    }
+    let (_, _, ref reference) = outputs[0];
+    for (level, threads, bytes) in &outputs[1..] {
+        assert_eq!(
+            bytes, reference,
+            "reduced model differs at obs level {level:?} with {threads} workers"
+        );
+    }
+}
+
 /// Same contract for the nested-dissection partitioner: the strategy runs
 /// before the fan-out, so worker count must not leak into the separator
 /// choice or anything downstream of it — reduced models stay

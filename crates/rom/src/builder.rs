@@ -171,6 +171,22 @@ impl Reducer {
         reduce::reduce_network_with_report(net, &self.opts)
     }
 
+    /// [`reduce`](Self::reduce) with the full observability bundle: the
+    /// audit report (carrying the span trace of the run on
+    /// [`EngineReport::trace`], at whatever detail the ambient
+    /// `bdsm_obs` level recorded) plus the [`StageTimings`] view derived
+    /// from that trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`reduce`](Self::reduce).
+    pub fn reduce_traced(
+        &self,
+        net: &Network,
+    ) -> CoreResult<(ReducedModel, EngineReport, StageTimings)> {
+        reduce::reduce_network_traced(net, &self.opts)
+    }
+
     /// Builds the network's ROM and captures it — reduced system, block
     /// structure, interface map, and full provenance — as a persistable
     /// [`RomArtifact`]: the build-once → save → serve entry point.

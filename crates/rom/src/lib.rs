@@ -44,4 +44,4 @@ pub mod server;
 
 pub use artifact::{Provenance, RomArtifact, RomError, FORMAT_VERSION, MAGIC};
 pub use builder::{BuildError, Reducer, ReducerBuilder};
-pub use server::{RomId, RomServer};
+pub use server::{RomId, RomServer, ServerMetricsSnapshot};

@@ -20,10 +20,13 @@ use crate::artifact::{RomArtifact, RomError};
 use bdsm_core::par;
 use bdsm_core::transfer::{eval_transfer_factored, CMatrix, ZLu};
 use bdsm_linalg::Complex64;
+use bdsm_obs::{CacheStats, CacheStatsSnapshot, Histogram, HistogramSnapshot, ObsLevel};
 use bdsm_sim::TransientSolver;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 /// Handle to one loaded model inside a [`RomServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +39,67 @@ impl RomId {
     }
 }
 
+/// Locks a cache mutex, recovering from poisoning: a panicked query
+/// thread must not turn every later query on the model into a panic.
+/// Recovery is safe because the cache only ever holds complete,
+/// immutable entries — values are fully built before insertion, so no
+/// half-written state can be observed.
+fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-server observability: shift-cache accounting plus the per-sample
+/// query latency distribution.
+///
+/// Cache counters are always on (two relaxed atomic increments next to a
+/// mutex-guarded map lookup — noise); the latency histogram records only
+/// at `ObsLevel::Timings` and above, because it needs a clock read per
+/// sample.
+#[derive(Debug, Default)]
+struct ServerMetrics {
+    cache: CacheStats,
+    query_latency_us: Histogram,
+}
+
+/// Point-in-time copy of a server's metrics, from [`RomServer::metrics`].
+///
+/// Invariants (exact, by construction): `cache.hits + cache.misses` is
+/// the total number of per-frequency samples served, and `cache.misses
+/// == cache.inserts` equals the sum of [`RomServer::cached_shifts`] over
+/// all loaded models — a cold-shift race loser counts as a hit, since
+/// the winner's entry served it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerMetricsSnapshot {
+    /// Shift-cache hits/misses/inserts across all models.
+    pub cache: CacheStatsSnapshot,
+    /// Per-sample query latency (µs); empty below `ObsLevel::Timings`.
+    pub latency_us: HistogramSnapshot,
+}
+
+impl ServerMetricsSnapshot {
+    /// Total per-frequency samples served.
+    pub fn queries(&self) -> u64 {
+        self.cache.queries()
+    }
+
+    /// Shift-cache hit rate over all samples served.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// JSON object fragment (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"hit_rate\": {}}}, \"latency\": {}}}",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.inserts,
+            self.hit_rate(),
+            self.latency_us.to_json()
+        )
+    }
+}
+
 /// One loaded artifact plus its per-shift factorization cache, keyed by
 /// the shift's bit pattern (so `jω` and any complex shift cache alike).
 struct ServedRom {
@@ -45,27 +109,43 @@ struct ServedRom {
 
 impl ServedRom {
     /// The cached factorization of `G_r + sC_r`, computing and inserting
-    /// it on first use. Two workers racing on the same fresh shift both
-    /// factor — identical, pure results — and the first insert wins.
-    fn factored(&self, s: Complex64) -> Result<Arc<ZLu>, RomError> {
+    /// it on first use — a double-checked insert that **never holds the
+    /// cache lock across the factorization**, so one slow cold shift
+    /// cannot serialize every concurrent query on the model. Two workers
+    /// racing on the same fresh shift both factor — identical, pure
+    /// results — and the first insert wins; the loser is accounted as a
+    /// hit, which keeps `misses == inserts == cached_shifts` exact.
+    fn factored(&self, s: Complex64, stats: &CacheStats) -> Result<Arc<ZLu>, RomError> {
         let key = (s.re.to_bits(), s.im.to_bits());
-        if let Some(lu) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(lu) = lock_cache(&self.cache).get(&key) {
+            stats.hits.inc();
             return Ok(Arc::clone(lu));
         }
         let lu = Arc::new(ZLu::factor_shifted(&self.artifact.g, &self.artifact.c, s)?);
-        let mut cache = self.cache.lock().expect("cache lock");
-        Ok(Arc::clone(cache.entry(key).or_insert(lu)))
+        match lock_cache(&self.cache).entry(key) {
+            Entry::Occupied(e) => {
+                stats.hits.inc();
+                Ok(Arc::clone(e.get()))
+            }
+            Entry::Vacant(v) => {
+                stats.misses.inc();
+                stats.inserts.inc();
+                Ok(Arc::clone(v.insert(lu)))
+            }
+        }
     }
 
     /// One transfer sample `H(s)` through the cache — the exact
     /// [`eval_transfer_factored`] path a fresh evaluation takes.
-    fn eval(&self, s: Complex64) -> Result<CMatrix, RomError> {
-        let lu = self.factored(s)?;
-        Ok(eval_transfer_factored(
-            &lu,
-            &self.artifact.b,
-            &self.artifact.l,
-        )?)
+    fn eval(&self, s: Complex64, metrics: &ServerMetrics) -> Result<CMatrix, RomError> {
+        let _span = bdsm_obs::span!("serve.query", re = s.re, omega = s.im);
+        let t = bdsm_obs::enabled(ObsLevel::Timings).then(Instant::now);
+        let lu = self.factored(s, &metrics.cache)?;
+        let out = eval_transfer_factored(&lu, &self.artifact.b, &self.artifact.l)?;
+        if let Some(t) = t {
+            metrics.query_latency_us.record_duration(t.elapsed());
+        }
+        Ok(out)
     }
 }
 
@@ -74,6 +154,7 @@ impl ServedRom {
 #[derive(Default)]
 pub struct RomServer {
     models: Vec<ServedRom>,
+    metrics: ServerMetrics,
 }
 
 impl RomServer {
@@ -128,7 +209,18 @@ impl RomServer {
     ///
     /// [`RomError::UnknownModel`] for a stale or foreign id.
     pub fn cached_shifts(&self, id: RomId) -> Result<usize, RomError> {
-        Ok(self.served(id)?.cache.lock().expect("cache lock").len())
+        Ok(lock_cache(&self.served(id)?.cache).len())
+    }
+
+    /// A snapshot of this server's observability counters: shift-cache
+    /// hits/misses/inserts across all models and the per-sample query
+    /// latency histogram. See [`ServerMetricsSnapshot`] for the exact
+    /// accounting invariants.
+    pub fn metrics(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            cache: self.metrics.cache.snapshot(),
+            latency_us: self.metrics.query_latency_us.snapshot(),
+        }
     }
 
     /// Evaluates the full `p × m` transfer matrix `H(jω)` at every listed
@@ -141,8 +233,10 @@ impl RomServer {
     /// [`RomError::UnknownModel`], or the first per-frequency failure in
     /// frequency order (e.g. a query hitting a pole).
     pub fn transfer_sweep(&self, id: RomId, omegas: &[f64]) -> Result<Vec<CMatrix>, RomError> {
+        let _span = bdsm_obs::timing_span!("serve.sweep", freqs = omegas.len());
         let served = self.served(id)?;
-        par::parallel_map(omegas, |_, &w| served.eval(Complex64::jomega(w)))
+        let metrics = &self.metrics;
+        par::parallel_map(omegas, |_, &w| served.eval(Complex64::jomega(w), metrics))
             .into_iter()
             .collect()
     }
@@ -168,6 +262,7 @@ impl RomServer {
         in_port: usize,
         omegas: &[f64],
     ) -> Result<Vec<Complex64>, RomError> {
+        let _span = bdsm_obs::timing_span!("serve.port", freqs = omegas.len());
         let served = self.served(id)?;
         let a = &served.artifact;
         if out_port >= a.num_outputs() {
@@ -177,14 +272,21 @@ impl RomServer {
             return Err(RomError::Query("input port out of range"));
         }
         let b_col = a.b.col(in_port);
+        let metrics = &self.metrics;
         par::parallel_map(omegas, |_, &w| -> Result<Complex64, RomError> {
-            let lu = served.factored(Complex64::jomega(w))?;
+            let s = Complex64::jomega(w);
+            let _span = bdsm_obs::span!("serve.query", re = s.re, omega = s.im);
+            let t = bdsm_obs::enabled(ObsLevel::Timings).then(Instant::now);
+            let lu = served.factored(s, &metrics.cache)?;
             // One column solve + one row contraction, in the same
             // operation order as `eval_transfer_factored`'s (i, j) entry.
             let x = lu.solve_real(&b_col)?;
             let mut acc = Complex64::ZERO;
             for (lv, xv) in a.l.row(out_port).iter().zip(&x) {
                 acc += *xv * *lv;
+            }
+            if let Some(t) = t {
+                metrics.query_latency_us.record_duration(t.elapsed());
             }
             Ok(acc)
         })
@@ -207,6 +309,7 @@ impl RomServer {
         h: f64,
         inputs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, RomError> {
+        let _span = bdsm_obs::timing_span!("serve.transient", steps = inputs.len());
         let a = self.artifact(id)?;
         let mut solver = TransientSolver::new(&a.g, &a.c, &a.b, &a.l, h)?;
         Ok(solver.run_series(inputs)?)
@@ -227,6 +330,7 @@ impl RomServer {
         h: f64,
         waveforms: &[Vec<Vec<f64>>],
     ) -> Result<Vec<Vec<Vec<f64>>>, RomError> {
+        let _span = bdsm_obs::timing_span!("serve.transient_batch", waveforms = waveforms.len());
         let a = self.artifact(id)?;
         if waveforms.is_empty() {
             return Err(RomError::Query("empty transient batch"));
@@ -280,6 +384,14 @@ mod tests {
         let again = server.transfer_sweep(id, &omegas).unwrap();
         assert_eq!(again, sweep);
         assert_eq!(server.cached_shifts(id).unwrap(), omegas.len());
+        // Cache accounting is exact: every sample is a hit or a miss, and
+        // misses == inserts == distinct cached shifts.
+        let m = server.metrics();
+        assert_eq!(m.queries(), 2 * omegas.len() as u64);
+        assert_eq!(m.cache.misses, omegas.len() as u64);
+        assert_eq!(m.cache.inserts, m.cache.misses);
+        assert_eq!(m.cache.hits, omegas.len() as u64);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //! the headline mode (adaptive greedy shifts + exact interfaces), its
 //! artifact round-tripped bitwise, and a 64-frequency `RomServer` sweep
 //! over the **loaded** artifact matching the freshly built model bit for
-//! bit under `BDSM_THREADS` ∈ {1, 2, 5}.
+//! bit under every `BDSM_OBS` level × `BDSM_THREADS` ∈ {1, 5}
+//! combination — observability must change wall-clock, never bytes.
 //!
-//! This file holds a single test because it manipulates `BDSM_THREADS`;
-//! keeping it alone in its binary avoids env races with sibling tests.
+//! This file holds a single test because it manipulates `BDSM_THREADS`
+//! and the process-global obs level; keeping it alone in its binary
+//! avoids races with sibling tests.
 
 use bdsm_core::engine::AdaptiveShiftOpts;
 use bdsm_core::synth::rc_grid;
 use bdsm_core::transfer::eval_transfer;
 use bdsm_linalg::Complex64;
+use bdsm_obs::ObsLevel;
 use bdsm_rom::{Reducer, RomArtifact, RomServer};
 
 #[test]
@@ -48,9 +51,9 @@ fn adaptive_exact_10k_artifact_roundtrips_and_serves_bitwise() {
         "10k adaptive+exact artifact round-trip is not bitwise"
     );
 
-    // 64-frequency sweep over the loaded artifact, under three worker
-    // counts: every batch must be byte-identical, and equal to fresh
-    // evaluations of the pre-save model.
+    // 64-frequency sweep over the loaded artifact, under every obs level
+    // × worker count combination: every batch must be byte-identical, and
+    // equal to fresh evaluations of the pre-save model.
     let omegas: Vec<f64> = (0..64)
         .map(|i| 50.0 * (4.0e3_f64 / 50.0).powf(i as f64 / 63.0))
         .collect();
@@ -58,20 +61,29 @@ fn adaptive_exact_10k_artifact_roundtrips_and_serves_bitwise() {
     let id = server.load_artifact(loaded);
 
     let prev = std::env::var("BDSM_THREADS").ok();
+    let prev_level = bdsm_obs::level();
     let mut sweeps = Vec::new();
-    for threads in ["1", "2", "5"] {
-        std::env::set_var("BDSM_THREADS", threads);
-        sweeps.push((threads, server.transfer_sweep(id, &omegas).expect("sweep")));
+    for level in [ObsLevel::Off, ObsLevel::Timings, ObsLevel::Spans] {
+        bdsm_obs::set_level(level);
+        for threads in ["1", "5"] {
+            std::env::set_var("BDSM_THREADS", threads);
+            sweeps.push((
+                level,
+                threads,
+                server.transfer_sweep(id, &omegas).expect("sweep"),
+            ));
+        }
     }
+    bdsm_obs::set_level(prev_level);
     match prev {
         Some(v) => std::env::set_var("BDSM_THREADS", v),
         None => std::env::remove_var("BDSM_THREADS"),
     }
-    let (_, reference) = &sweeps[0];
-    for (threads, sweep) in &sweeps[1..] {
+    let (_, _, reference) = &sweeps[0];
+    for (level, threads, sweep) in &sweeps[1..] {
         assert_eq!(
             sweep, reference,
-            "served sweep differs between 1 and {threads} workers"
+            "served sweep differs at obs level {level:?} with {threads} workers"
         );
     }
     for (k, &w) in omegas.iter().enumerate() {
@@ -82,6 +94,13 @@ fn adaptive_exact_10k_artifact_roundtrips_and_serves_bitwise() {
             "served sample at ω={w} differs from the freshly built model"
         );
     }
-    // The cache holds exactly the 64 queried shifts, across all batches.
+    // The cache holds exactly the 64 queried shifts, across all batches,
+    // and the cache counters balance exactly: 6 sweeps × 64 samples, of
+    // which only the cold batch's 64 missed (and inserted).
     assert_eq!(server.cached_shifts(id).unwrap(), omegas.len());
+    let m = server.metrics();
+    assert_eq!(m.queries(), 6 * omegas.len() as u64);
+    assert_eq!(m.cache.misses, omegas.len() as u64);
+    assert_eq!(m.cache.inserts, m.cache.misses);
+    assert_eq!(m.cache.hits, 5 * omegas.len() as u64);
 }

@@ -546,6 +546,7 @@ impl<T: Scalar> SparseLu<T> {
                 rhs: (rhs.len(), 1),
             });
         }
+        let _s = bdsm_obs::span!("lu.solve", n = n, rhs = m);
         // RHS-contiguous scratch: the m values of pivot step j live at
         // y[j*m .. (j+1)*m], permuted into pivot order up front.
         let mut y = vec![T::ZERO; n * m];
@@ -613,6 +614,7 @@ fn factor_parts<T: Scalar>(
             what: "sparse-lu: column ordering is not a permutation",
         });
     }
+    let mut span = bdsm_obs::span!("lu.factor", n = n);
     ws.ensure(n);
     let mut st = Partial {
         l_cols: Vec::with_capacity(n),
@@ -662,7 +664,7 @@ fn factor_parts<T: Scalar>(
             below_t,
         });
     }
-    Ok(SparseLu {
+    let lu = SparseLu {
         n,
         l_cols: st.l_cols,
         u_cols: st.u_cols,
@@ -671,7 +673,20 @@ fn factor_parts<T: Scalar>(
         pinv: st.pinv,
         q: q.to_vec(),
         panels,
-    })
+    };
+    let count_metrics = bdsm_obs::enabled(bdsm_obs::ObsLevel::Timings);
+    if count_metrics || span.is_recording() {
+        let nnz = lu.factor_nnz();
+        span.attr("nnz", nnz);
+        span.attr("panels", lu.panels.len());
+        if count_metrics {
+            let m = bdsm_obs::metrics();
+            m.lu_factorizations.inc();
+            m.lu_supernode_panels.add(lu.panels.len() as u64);
+            m.factor_nnz.set(nnz as u64);
+        }
+    }
+    Ok(lu)
 }
 
 /// The Gilbert–Peierls column loop: symbolic reach, numeric elimination

@@ -56,22 +56,42 @@
 //! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`] and friends — the low-level path under [`rom::Reducer`], all over the staged [`core::engine::ReductionEngine`] (`Plan → Basis → Project → Certify`; adaptive shifts via [`core::engine::ShiftStrategy`], exact boundaries via [`core::projector::InterfacePolicy`]; parallel substrate: [`core::par`]) |
 //! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`], [`core::transfer::eval_transfer_factored`] |
 //! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
+//! | *observe*  | [`obs`]        | [`obs::span!`](span!) / [`obs::timing_span!`](timing_span!) RAII span tracing (Chrome-trace export via [`obs::Trace`]), [`obs::metrics`] counter/gauge/histogram registry, [`rom::RomServer::metrics`]; one-atomic-load no-ops until `BDSM_OBS` (or [`obs::set_level`]) turns them on |
 //! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
 //!
 //! The free functions [`core::reduce::reduce_network`],
-//! [`core::reduce::reduce_network_timed`], and
-//! [`core::reduce::reduce_network_with_report`] are kept stable for
+//! [`core::reduce::reduce_network_timed`],
+//! [`core::reduce::reduce_network_with_report`], and
+//! [`core::reduce::reduce_network_traced`] are kept stable for
 //! callers that want raw engine access (stage recomposition, custom
 //! certification grids); new code should start from [`rom::Reducer`].
+//!
+//! # Observability
+//!
+//! Set `BDSM_OBS=timings` (stage spans + metrics) or `BDSM_OBS=spans`
+//! (adds per-shift / per-block / per-frequency / per-query detail) and
+//! every pipeline layer records into the same process: engine stages,
+//! sparse LU factorizations, the `core::par` workers, and `RomServer`
+//! queries. [`rom::Reducer::reduce_traced`] returns the span trace of a
+//! reduction ([`core::engine::EngineReport::trace`]); save it with
+//! [`obs::Trace::save_chrome`] and load it in `chrome://tracing` or
+//! Perfetto. Recording never changes numerical results — reduced models
+//! and served sweeps are bitwise-identical at every level — and with
+//! `BDSM_OBS` unset every instrumentation site is a single relaxed
+//! atomic load.
 
 pub use bdsm_bench as bench;
 pub use bdsm_circuit as circuit;
 pub use bdsm_core as core;
 pub use bdsm_io as io;
 pub use bdsm_linalg as linalg;
+pub use bdsm_obs as obs;
 pub use bdsm_rom as rom;
 pub use bdsm_sim as sim;
 pub use bdsm_sparse as sparse;
+// The façade's doc table links `obs::span!` / `obs::timing_span!`;
+// `#[macro_export]` puts the macros at the re-exporting crate's root too.
+pub use bdsm_obs::{span, timing_span};
 
 /// Most-used types, for glob import.
 pub mod prelude {
@@ -86,8 +106,8 @@ pub mod prelude {
     pub use bdsm_core::krylov::KrylovOpts;
     pub use bdsm_core::projector::InterfacePolicy;
     pub use bdsm_core::reduce::{
-        reduce_network, reduce_network_timed, reduce_network_with_report, ReducedModel,
-        ReductionOpts, SolverBackend, StageTimings,
+        reduce_network, reduce_network_timed, reduce_network_traced, reduce_network_with_report,
+        ReducedModel, ReductionOpts, SolverBackend, StageTimings,
     };
     pub use bdsm_core::transfer::{
         eval_transfer, eval_transfer_factored, transfer_rel_err, SparseTransferEvaluator,
@@ -97,8 +117,10 @@ pub mod prelude {
         load_netlist, parse_netlist, save_netlist, write_netlist, NetlistError, WriteError,
     };
     pub use bdsm_linalg::{Complex64, Matrix};
+    pub use bdsm_obs::{MetricsSnapshot, ObsLevel, Trace};
     pub use bdsm_rom::{
         BuildError, Provenance, Reducer, ReducerBuilder, RomArtifact, RomError, RomId, RomServer,
+        ServerMetricsSnapshot,
     };
     pub use bdsm_sim::TransientSolver;
     pub use bdsm_sparse::{
