@@ -63,9 +63,12 @@ fn gate_adaptive(current: &Json, baseline: &Json, factor: f64) -> bool {
     for (key, label) in [
         ("t_adaptive_reduce_us", "adaptive reduce (µs)"),
         ("t_fixed_reduce_us", "fixed reduce (µs)"),
+        ("t_certify_us", "certify stage (µs)"),
         ("rounds", "greedy rounds"),
         ("worst_residual", "final residual"),
         ("reduced_dim", "reduced dim"),
+        ("cert_samples", "certificate samples"),
+        ("cert_bands", "certificate error bands"),
     ] {
         println!(
             "| {label} | {} | {} |",
@@ -73,6 +76,10 @@ fn gate_adaptive(current: &Json, baseline: &Json, factor: f64) -> bool {
             cur.num(key).map_or("n/a".into(), fmt),
         );
     }
+    if let Some(Json::Str(status)) = cur.get("cert_status") {
+        println!("| certificate status | — | {status} |");
+    }
+    let mut ok = true;
     match (
         base.num("t_adaptive_reduce_us"),
         cur.num("t_adaptive_reduce_us"),
@@ -87,12 +94,28 @@ fn gate_adaptive(current: &Json, baseline: &Json, factor: f64) -> bool {
                 println!(
                     "\n**GATE FAILED**: adaptive reduce regressed {ratio:.2}x (> {factor:.2}x)"
                 );
-                return false;
+                ok = false;
             }
-            true
         }
-        _ => true,
+        _ => {}
     }
+    // The certify stage is gated like the reduce when both artifacts
+    // record it (older baselines predate the certificate pipeline).
+    match (base.num("t_certify_us"), cur.num("t_certify_us")) {
+        (Some(b), Some(c)) if b > 0.0 => {
+            let ratio = c / b;
+            println!(
+                "certify stage: {c:.1} µs vs baseline {b:.1} µs \
+                 ({ratio:.2}x, allowed ≤ {factor:.2}x)"
+            );
+            if ratio > factor {
+                println!("\n**GATE FAILED**: certify stage regressed {ratio:.2}x (> {factor:.2}x)");
+                ok = false;
+            }
+        }
+        _ => println!("(certify timing missing from one artifact; not gated)"),
+    }
+    ok
 }
 
 /// Gates the partitioner record when both artifacts carry one. Separator

@@ -110,6 +110,10 @@ struct AdaptiveRow {
     reduced_dim_fixed: usize,
     basis_cols: usize,
     basis_cols_fixed: usize,
+    t_certify_us: f64,
+    cert_status: String,
+    cert_samples: usize,
+    cert_bands: usize,
 }
 
 struct PartitionRow {
@@ -402,9 +406,18 @@ fn adaptive_scenario() -> Result<AdaptiveRow, BenchError> {
 
     // Warm both paths once, then measure — the adaptive path has its own
     // cold-start surfaces (candidate-sweep evaluator, per-round ROM
-    // sweeps) that must not inflate the gated metric.
+    // sweeps) that must not inflate the gated metric. The adaptive warmup
+    // doubles as the certify-stage measurement: run it traced at
+    // `ObsLevel::Timings` so `StageTimings` carries `stage.certify`
+    // wall-clock without perturbing the untraced timed runs below.
     std::hint::black_box(fixed.reduce_with_report(&net)?);
-    std::hint::black_box(adaptive.reduce_with_report(&net)?);
+    let prev_level = bdsm_obs::level();
+    bdsm_obs::set_level(ObsLevel::Timings);
+    let warm = adaptive.reduce_traced(&net);
+    bdsm_obs::set_level(prev_level);
+    let (_, rep_warm, stages_warm) = warm?;
+    let t_certify_us = stages_warm.certify_us;
+    let cert = &rep_warm.certificate;
     let t0 = Instant::now();
     let (rm_fixed, rep_fixed) = fixed.reduce_with_report(&net)?;
     let t_fixed_us = t0.elapsed().as_secs_f64() * 1e6;
@@ -431,6 +444,13 @@ fn adaptive_scenario() -> Result<AdaptiveRow, BenchError> {
         t_fixed_us / 1e3,
         rep_fixed.shifts.len(),
     );
+    println!(
+        "  certify stage {:.1} ms -> {:?} ({} passivity samples, {} error bands)",
+        t_certify_us / 1e3,
+        cert.status,
+        cert.passivity.sample_omegas.len(),
+        cert.error_bands.len(),
+    );
     Ok(AdaptiveRow {
         n: N,
         t_adaptive_us,
@@ -444,6 +464,10 @@ fn adaptive_scenario() -> Result<AdaptiveRow, BenchError> {
         reduced_dim_fixed: rm_fixed.reduced_dim(),
         basis_cols: rep.basis_cols,
         basis_cols_fixed: rep_fixed.basis_cols,
+        t_certify_us,
+        cert_status: format!("{:?}", cert.status).to_lowercase(),
+        cert_samples: cert.passivity.sample_omegas.len(),
+        cert_bands: cert.error_bands.len(),
     })
 }
 
@@ -581,6 +605,18 @@ fn serve_scenario() -> Result<ServeRow, BenchError> {
     let artifact = reducer.reduce_to_artifact(&net)?;
     let t_build_us = t0.elapsed().as_secs_f64() * 1e6;
     let artifact_bytes = artifact.to_bytes().len();
+
+    // The n = 10⁴ certificate, dumped standalone for the CI artifact
+    // trail: passivity/stability margins, per-band error bounds, and the
+    // envelope the server will enforce.
+    let cert = &artifact.provenance.certificate;
+    std::fs::write("BENCH_certificate.json", format!("{}\n", cert.to_json()))?;
+    println!(
+        "  wrote BENCH_certificate.json (status {:?}, {} passivity samples, {} bands)",
+        cert.status,
+        cert.passivity.sample_omegas.len(),
+        cert.error_bands.len(),
+    );
 
     let path = std::env::temp_dir().join("bdsm_bench_serve.rom");
     let t0 = Instant::now();
@@ -917,7 +953,9 @@ fn render_json(
              \"adaptive_overhead\": {:.2}, \"rounds\": {}, \"certified\": {}, \
              \"worst_residual\": {:.3e}, \"shifts_chosen\": {}, \
              \"residual_trajectory\": {}, \"reduced_dim\": {}, \
-             \"reduced_dim_fixed\": {}, \"basis_cols\": {}, \"basis_cols_fixed\": {}}},",
+             \"reduced_dim_fixed\": {}, \"basis_cols\": {}, \"basis_cols_fixed\": {}, \
+             \"t_certify_us\": {:.1}, \"cert_status\": \"{}\", \
+             \"cert_samples\": {}, \"cert_bands\": {}}},",
             a.n,
             a.t_adaptive_us,
             a.t_fixed_us,
@@ -931,6 +969,10 @@ fn render_json(
             a.reduced_dim_fixed,
             a.basis_cols,
             a.basis_cols_fixed,
+            a.t_certify_us,
+            a.cert_status,
+            a.cert_samples,
+            a.cert_bands,
         )
         .expect("string write"),
         None => out.push_str("  \"adaptive\": null,\n"),

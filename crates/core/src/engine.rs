@@ -30,6 +30,7 @@
 //! first-wins arg-max, so adaptive reductions are identical for any
 //! `BDSM_THREADS`.
 
+use crate::certify::{certify_reduced, Certificate, ResidualSweep};
 use crate::krylov::{collect_points, merge_candidate_sets, merge_candidates, ExpansionPoint};
 use crate::projector::{BlockDiagProjector, InterfacePolicy};
 use crate::reduce::{
@@ -148,20 +149,6 @@ impl Rom {
     }
 }
 
-/// Output of the Certify stage: per-frequency relative transfer residuals
-/// of a ROM against the sparse full model.
-#[derive(Debug, Clone)]
-pub struct Certificate {
-    /// The evaluation grid (angular frequencies).
-    pub omegas: Vec<f64>,
-    /// `‖H(jω) − Ĥ(jω)‖_F / ‖H(jω)‖_F` per grid point.
-    pub residuals: Vec<f64>,
-    /// Largest residual on the grid.
-    pub worst: f64,
-    /// Frequency carrying the largest residual.
-    pub worst_omega: f64,
-}
-
 /// One greedy round of the adaptive loop, for the audit trail (and the
 /// scaling benchmark's adaptive record).
 #[derive(Debug, Clone)]
@@ -194,6 +181,11 @@ pub struct EngineReport {
     /// `true` when the adaptive loop met its residual tolerance on the
     /// candidate grid (always `false` for the uncertified fixed path).
     pub certified: bool,
+    /// Typed property certificate of the reduced pencil — passivity,
+    /// stability, and a posteriori error bands (see [`crate::certify`]).
+    /// [`CertStatus::Unknown`](crate::certify::CertStatus::Unknown) for
+    /// stage-recomposition callers that never ran the Certify stage.
+    pub certificate: Certificate,
     /// The span trace of the run (stage spans always; per-shift/per-block
     /// spans when `BDSM_OBS=spans`). Empty for stage-recomposition
     /// callers that never went through [`ReductionEngine::run`].
@@ -429,16 +421,39 @@ impl<'n> ReductionEngine<'n> {
         })
     }
 
-    /// **Certify** stage: relative transfer residuals of a ROM against the
-    /// sparse full model on a `jω` grid, both sides evaluated through the
-    /// existing parallel sweeps.
+    /// **Certify** stage, quantitative half: relative transfer residuals
+    /// of a ROM against the sparse full model on a `jω` grid, both sides
+    /// evaluated through the existing parallel sweeps.
     ///
     /// # Errors
     ///
     /// Propagates singular evaluations (a grid point hitting a pole).
-    pub fn certify(&self, plan: &Plan, rom: &Rom, omegas: &[f64]) -> Result<Certificate> {
+    pub fn certify(&self, plan: &Plan, rom: &Rom, omegas: &[f64]) -> Result<ResidualSweep> {
         let full = self.full_sweep(plan, omegas)?;
-        self.certify_against(rom, omegas, &full)
+        self.certify_against(rom, omegas, &full).map(|(s, _)| s)
+    }
+
+    /// **Certify** stage, full form: residual sweep against the full model
+    /// **plus** the typed property certificate (passivity sampling reuses
+    /// the ROM sweep, so certification costs one extra eigenpass, not a
+    /// second sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular evaluations and eigensolver failures.
+    pub fn certify_full(&self, plan: &Plan, rom: &Rom, omegas: &[f64]) -> Result<Certificate> {
+        let full = self.full_sweep(plan, omegas)?;
+        let (sweep, rom_sweep) = self.certify_against(rom, omegas, &full)?;
+        certify_reduced(
+            &rom.g,
+            &rom.c,
+            &rom.b,
+            &rom.l,
+            omegas,
+            Some(&rom_sweep),
+            Some(&sweep),
+            &self.opts.certify,
+        )
     }
 
     /// Full-model reference sweep on a grid (one sparse complex
@@ -454,8 +469,14 @@ impl<'n> ReductionEngine<'n> {
     }
 
     /// Residuals of a ROM against precomputed full-model samples — the
-    /// cached shape the adaptive loop runs every round.
-    fn certify_against(&self, rom: &Rom, omegas: &[f64], full: &[CMatrix]) -> Result<Certificate> {
+    /// cached shape the adaptive loop runs every round. Also returns the
+    /// ROM's own sweep so the final round's passivity sampling is free.
+    fn certify_against(
+        &self,
+        rom: &Rom,
+        omegas: &[f64],
+        full: &[CMatrix],
+    ) -> Result<(ResidualSweep, Vec<CMatrix>)> {
         let rom_ev =
             TransferEvaluator::new(rom.g.clone(), rom.c.clone(), rom.b.clone(), rom.l.clone())?;
         let rom_sweep = rom_ev.eval_jomega_sweep(omegas)?;
@@ -472,12 +493,13 @@ impl<'n> ReductionEngine<'n> {
                 worst_omega = w;
             }
         }
-        Ok(Certificate {
+        let sweep = ResidualSweep {
             omegas: omegas.to_vec(),
             residuals,
             worst,
             worst_omega,
-        })
+        };
+        Ok((sweep, rom_sweep))
     }
 
     /// Runs the full staged pipeline.
@@ -549,11 +571,36 @@ impl<'n> ReductionEngine<'n> {
             let _s = timing_span!("stage.project");
             self.congruence(plan, &projector)?
         };
+        // The fixed path never measures residuals against the full model,
+        // but the property checks (passivity/stability of the reduced
+        // pencil) are cheap and still apply — sampled at the `jω` expansion
+        // points, with no error bands.
+        let certificate = {
+            let _s = timing_span!("stage.certify");
+            let omegas: Vec<f64> = points
+                .iter()
+                .filter_map(|p| match *p {
+                    ExpansionPoint::Jomega(w) => Some(w),
+                    ExpansionPoint::Real(_) => None,
+                })
+                .collect();
+            certify_reduced(
+                &rom.g,
+                &rom.c,
+                &rom.b,
+                &rom.l,
+                &omegas,
+                None,
+                None,
+                &self.opts.certify,
+            )?
+        };
         let report = EngineReport {
             shifts: points,
             basis_cols: global.ncols(),
             rounds: Vec::new(),
             certified: false,
+            certificate,
             trace: Trace::default(),
         };
         Ok((rom, report))
@@ -589,7 +636,7 @@ impl<'n> ReductionEngine<'n> {
 
         let mut rounds: Vec<RoundRecord> = Vec::new();
         let mut certified = false;
-        let (rom, basis_cols) = loop {
+        let (rom, basis_cols, cert, rom_sweep) = loop {
             let global = {
                 let _s = timing_span!("stage.krylov");
                 merge_candidate_sets(&cache, self.opts.krylov.deflation_tol)?
@@ -602,7 +649,7 @@ impl<'n> ReductionEngine<'n> {
                 let _s = timing_span!("stage.project");
                 self.congruence(plan, &projector)?
             };
-            let cert = {
+            let (cert, rom_sweep) = {
                 let _s = timing_span!("stage.certify");
                 self.certify_against(&rom, &a.candidate_omegas, &full_sweep)?
             };
@@ -617,10 +664,10 @@ impl<'n> ReductionEngine<'n> {
             });
             if cert.worst <= a.tol {
                 certified = true;
-                break (rom, global.ncols());
+                break (rom, global.ncols(), cert, rom_sweep);
             }
             if points.len() >= a.max_shifts {
-                break (rom, global.ncols());
+                break (rom, global.ncols(), cert, rom_sweep);
             }
             // Greedy step: the worst-residual candidate not already an
             // expansion point (first-wins tie-break keeps this — and hence
@@ -638,7 +685,7 @@ impl<'n> ReductionEngine<'n> {
                 }
             }
             let Some((w_next, _)) = pick else {
-                break (rom, global.ncols()); // candidate pool exhausted
+                break (rom, global.ncols(), cert, rom_sweep); // pool exhausted
             };
             rounds.last_mut().expect("round pushed").added_omega = Some(w_next);
             let pt = ExpansionPoint::Jomega(w_next);
@@ -648,11 +695,28 @@ impl<'n> ReductionEngine<'n> {
             }
             points.push(pt);
         };
+        // Property certificate of the final ROM: the passivity sampling
+        // reuses the last round's ROM sweep, the error bands fold the last
+        // round's residuals — no extra transfer evaluations.
+        let certificate = {
+            let _s = timing_span!("stage.certify");
+            certify_reduced(
+                &rom.g,
+                &rom.c,
+                &rom.b,
+                &rom.l,
+                &a.candidate_omegas,
+                Some(&rom_sweep),
+                Some(&cert),
+                &self.opts.certify,
+            )?
+        };
         let report = EngineReport {
             shifts: points,
             basis_cols,
             rounds,
             certified,
+            certificate,
             trace: Trace::default(),
         };
         Ok((rom, report))

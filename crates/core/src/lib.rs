@@ -31,6 +31,11 @@
 //!   [`reduce::reduce_network_timed`] additionally reports per-stage wall
 //!   times, and [`reduce::reduce_network_with_report`] the adaptive
 //!   engine's audit trail;
+//! - [`certify`] is the trust layer of the Certify stage: typed
+//!   passivity/stability certificates of the reduced pencil (eigenvalue
+//!   margins, positive-real sampling with violation localization,
+//!   Lyapunov/spectral verification) plus per-band a posteriori error
+//!   bounds, recorded on [`engine::EngineReport::certificate`];
 //! - [`transfer`] evaluates `H(s) = L(G + sC)⁻¹B` for full and reduced
 //!   models so they can be compared frequency by frequency — dense,
 //!   Hessenberg, and sparse ([`transfer::SparseTransferEvaluator`]) paths,
@@ -50,6 +55,7 @@
 //! # Ok::<(), bdsm_core::CoreError>(())
 //! ```
 
+pub mod certify;
 pub mod engine;
 pub mod krylov;
 pub mod par;
@@ -58,9 +64,12 @@ pub mod reduce;
 pub mod synth;
 pub mod transfer;
 
+pub use certify::{
+    certify_reduced, CertStatus, Certificate, CertifyOpts, CheckOutcome, ErrorBand,
+    PassivityCertificate, ResidualSweep, StabilityCertificate,
+};
 pub use engine::{
-    AdaptiveShiftOpts, Certificate, EngineReport, Plan, ReductionEngine, Rom, RoundRecord,
-    ShiftStrategy,
+    AdaptiveShiftOpts, EngineReport, Plan, ReductionEngine, Rom, RoundRecord, ShiftStrategy,
 };
 pub use krylov::{
     collect_points, global_krylov_basis, global_krylov_basis_sparse, ExpansionPoint, KrylovOpts,

@@ -97,7 +97,10 @@ where
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(&mut state, i, item))
+            .map(|(i, item)| {
+                bdsm_obs::faultpoint!("par.item");
+                f(&mut state, i, item)
+            })
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -124,6 +127,7 @@ where
                                 break;
                             }
                             let t = span.is_recording().then(std::time::Instant::now);
+                            bdsm_obs::faultpoint!("par.item");
                             out.push((i, f(&mut state, i, &items[i])));
                             if let Some(t) = t {
                                 busy_ns += t.elapsed().as_nanos() as u64;

@@ -31,6 +31,7 @@
 //! the full model is never densified, which is what admits `n ≫ 10⁴`
 //! grids — or the original dense kernels as a verification oracle.
 
+use crate::certify::CertifyOpts;
 use crate::engine::{EngineReport, ReductionEngine, ShiftStrategy};
 use crate::krylov::KrylovOpts;
 use crate::projector::{BlockDiagProjector, InterfacePolicy};
@@ -135,6 +136,9 @@ pub struct ReductionOpts {
     /// [`ReductionSet`]). Pair with [`InterfacePolicy::Exact`] to read kept
     /// boundary voltages off the ROM verbatim.
     pub kept_buses: Option<Vec<usize>>,
+    /// Knobs of the Certify stage's property checks (passivity/stability
+    /// margins); see [`CertifyOpts`].
+    pub certify: CertifyOpts,
 }
 
 impl Default for ReductionOpts {
@@ -149,6 +153,7 @@ impl Default for ReductionOpts {
             interface_policy: InterfacePolicy::default(),
             partition_strategy: PartitionStrategy::default(),
             kept_buses: None,
+            certify: CertifyOpts::default(),
         }
     }
 }

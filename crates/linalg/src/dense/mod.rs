@@ -8,7 +8,7 @@ pub mod matrix;
 pub mod qr;
 pub mod svd;
 
-pub use eig_sym::SymEig;
+pub use eig_sym::{sym_eig_extremes, sym_min_eig, SymEig};
 pub use gemm::{gemm_acc, gemm_sub, trsv_unit_lower, GemmScalar, KernelShape, KERNEL_SHAPE};
 pub use hessenberg::{hessenberg, solve_shifted_hessenberg, Hessenberg};
 pub use lu::DenseLu;

@@ -13,6 +13,9 @@
 //! * **Metrics registry** — process-global [`Counter`]s and [`Gauge`]s
 //!   ([`metrics()`]) plus embeddable [`CacheStats`] and fixed-bucket
 //!   latency [`Histogram`]s, snapshot to JSON via [`MetricsSnapshot`].
+//! * **Fault injection** — named [`faultpoint!`] sites robustness tests
+//!   arm ([`fault::arm`]) to panic on demand, proving typed-error
+//!   recovery paths; free (one relaxed atomic load) while disarmed.
 //! * **Zero overhead when disabled** — a process-global [`ObsLevel`]
 //!   (env override `BDSM_OBS=off|timings|spans`) gates every
 //!   instrumented path behind a single relaxed atomic load, and spans
@@ -47,6 +50,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 use std::time::Instant;
 
+pub mod fault;
 mod metrics;
 mod trace;
 

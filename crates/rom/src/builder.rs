@@ -234,6 +234,7 @@ impl Default for ReducerBuilder {
                 interface_policy: InterfacePolicy::Folded,
                 partition_strategy: PartitionStrategy::Bfs,
                 kept_buses: None,
+                certify: bdsm_core::certify::CertifyOpts::default(),
             },
         }
     }

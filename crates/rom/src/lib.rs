@@ -33,7 +33,10 @@
 //!    [`transient`](RomServer::transient) queries concurrently on the
 //!    `bdsm-core` parallel substrate — bitwise-deterministic for any
 //!    `BDSM_THREADS`, and bitwise-equal to evaluating the freshly built
-//!    model.
+//!    model. Queries are validated up front (typed [`QueryError`]s),
+//!    checked against the artifact's certified frequency envelope per
+//!    [`EnvelopePolicy`], and contained: a panic anywhere inside a query
+//!    surfaces as [`RomError::Internal`], never across the API boundary.
 //!
 //! The engine-layer free functions (`bdsm_core::reduce::reduce_network*`)
 //! remain available as the low-level path underneath this API.
@@ -44,4 +47,11 @@ pub mod server;
 
 pub use artifact::{Provenance, RomArtifact, RomError, FORMAT_VERSION, MAGIC};
 pub use builder::{BuildError, Reducer, ReducerBuilder};
-pub use server::{RomId, RomServer, ServerMetricsSnapshot};
+pub use server::{EnvelopePolicy, QueryError, RomId, RomServer, ServerMetricsSnapshot};
+
+// The certificate types travel inside every v3 artifact; re-export them so
+// downstream users of the serving layer need not depend on `bdsm-core`
+// directly to inspect provenance.
+pub use bdsm_core::certify::{
+    CertStatus, Certificate, CheckOutcome, ErrorBand, PassivityCertificate, StabilityCertificate,
+};

@@ -15,18 +15,124 @@
 //! Loading (`&mut self`) is separated from serving (`&self`): share the
 //! server behind an `Arc` and any number of threads can query it
 //! concurrently while each batch also parallelizes internally.
+//!
+//! # Certified envelopes and failure containment
+//!
+//! Every query is validated up front (finite frequencies, positive finite
+//! steps, non-empty batches) and checked against the model's **certified
+//! envelope** — the frequency span its artifact certificate covers (see
+//! `bdsm_core::certify`) and the matching transient-step floor. The
+//! server-wide [`EnvelopePolicy`] decides what happens outside it:
+//! refuse ([`QueryError::OutsideEnvelope`]), serve but count a flag (the
+//! default), or ignore. Models whose certificate is `Unknown` (e.g. v2
+//! artifacts) have no envelope and are never checked. Additionally, no
+//! panic crosses the public query API: panics (including worker panics
+//! inside a fan-out) are caught at the boundary and surface as
+//! [`RomError::Internal`], counted in [`RomServer::metrics`].
 
 use crate::artifact::{RomArtifact, RomError};
 use bdsm_core::par;
 use bdsm_core::transfer::{eval_transfer_factored, CMatrix, ZLu};
 use bdsm_linalg::Complex64;
-use bdsm_obs::{CacheStats, CacheStatsSnapshot, Histogram, HistogramSnapshot, ObsLevel};
+use bdsm_obs::{CacheStats, CacheStatsSnapshot, Counter, Histogram, HistogramSnapshot, ObsLevel};
 use bdsm_sim::TransientSolver;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Why a query was rejected before any numerical work, carried by
+/// [`RomError::Query`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// A batched query carried no work items.
+    EmptyBatch,
+    /// A requested frequency was NaN or infinite.
+    NonFiniteFrequency {
+        /// The offending value.
+        value: f64,
+    },
+    /// A transient step was NaN or infinite.
+    NonFiniteStep {
+        /// The offending value.
+        value: f64,
+    },
+    /// A transient step was zero or negative.
+    NonPositiveStep {
+        /// The offending value.
+        value: f64,
+    },
+    /// A port index exceeded the model's port count.
+    PortOutOfRange {
+        /// `"input"` or `"output"`.
+        kind: &'static str,
+        /// The requested port.
+        port: usize,
+        /// Ports the model actually has.
+        available: usize,
+    },
+    /// The query left the model's certified envelope and the server runs
+    /// under [`EnvelopePolicy::Strict`].
+    OutsideEnvelope {
+        /// First offending value (a frequency, or a transient step).
+        value: f64,
+        /// Certified lower bound.
+        lo: f64,
+        /// Certified upper bound.
+        hi: f64,
+        /// `"frequency"` or `"transient step"`.
+        domain: &'static str,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyBatch => write!(f, "empty batch"),
+            QueryError::NonFiniteFrequency { value } => {
+                write!(f, "non-finite frequency {value}")
+            }
+            QueryError::NonFiniteStep { value } => write!(f, "non-finite transient step {value}"),
+            QueryError::NonPositiveStep { value } => {
+                write!(f, "non-positive transient step {value}")
+            }
+            QueryError::PortOutOfRange {
+                kind,
+                port,
+                available,
+            } => write!(f, "{kind} port {port} out of range (model has {available})"),
+            QueryError::OutsideEnvelope {
+                value,
+                lo,
+                hi,
+                domain,
+            } => write!(
+                f,
+                "{domain} {value} outside the certified envelope [{lo}, {hi}]"
+            ),
+        }
+    }
+}
+
+/// What the server does with a query outside a model's certified
+/// envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnvelopePolicy {
+    /// Refuse with [`QueryError::OutsideEnvelope`]; the refusal is
+    /// counted in [`RomServer::metrics`].
+    Strict,
+    /// Serve the query but count each out-of-envelope sample as a flag in
+    /// [`RomServer::metrics`] — the default: graceful degradation with an
+    /// explicit warning signal.
+    #[default]
+    Flag,
+    /// Serve silently, pre-certificate behaviour.
+    Ignore,
+}
 
 /// Handle to one loaded model inside a [`RomServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +165,14 @@ fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 struct ServerMetrics {
     cache: CacheStats,
     query_latency_us: Histogram,
+    /// Queries refused under [`EnvelopePolicy::Strict`] (one per refused
+    /// call).
+    envelope_refusals: Counter,
+    /// Out-of-envelope samples served under [`EnvelopePolicy::Flag`]
+    /// (one per sample).
+    envelope_flags: Counter,
+    /// Panics contained at the public API boundary.
+    panics_recovered: Counter,
 }
 
 /// Point-in-time copy of a server's metrics, from [`RomServer::metrics`].
@@ -74,6 +188,15 @@ pub struct ServerMetricsSnapshot {
     pub cache: CacheStatsSnapshot,
     /// Per-sample query latency (µs); empty below `ObsLevel::Timings`.
     pub latency_us: HistogramSnapshot,
+    /// Queries refused for leaving the certified envelope
+    /// ([`EnvelopePolicy::Strict`]; one per refused call).
+    pub envelope_refusals: u64,
+    /// Out-of-envelope samples served with a warning
+    /// ([`EnvelopePolicy::Flag`]; one per sample).
+    pub envelope_flags: u64,
+    /// Panics contained at the public API boundary (each surfaced as
+    /// [`RomError::Internal`]).
+    pub panics_recovered: u64,
 }
 
 impl ServerMetricsSnapshot {
@@ -90,11 +213,16 @@ impl ServerMetricsSnapshot {
     /// JSON object fragment (no trailing newline).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"hit_rate\": {}}}, \"latency\": {}}}",
+            "{{\"cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"hit_rate\": {}}}, \
+             \"envelope\": {{\"refusals\": {}, \"flags\": {}}}, \"panics_recovered\": {}, \
+             \"latency\": {}}}",
             self.cache.hits,
             self.cache.misses,
             self.cache.inserts,
             self.hit_rate(),
+            self.envelope_refusals,
+            self.envelope_flags,
+            self.panics_recovered,
             self.latency_us.to_json()
         )
     }
@@ -117,9 +245,16 @@ impl ServedRom {
     /// hit, which keeps `misses == inserts == cached_shifts` exact.
     fn factored(&self, s: Complex64, stats: &CacheStats) -> Result<Arc<ZLu>, RomError> {
         let key = (s.re.to_bits(), s.im.to_bits());
-        if let Some(lu) = lock_cache(&self.cache).get(&key) {
-            stats.hits.inc();
-            return Ok(Arc::clone(lu));
+        {
+            let guard = lock_cache(&self.cache);
+            // Fault site while the lock is held: an injected panic here
+            // poisons the cache mutex, which is exactly the condition
+            // `lock_cache`'s recovery (and its tests) exercise.
+            bdsm_obs::faultpoint!("rom.cache.locked");
+            if let Some(lu) = guard.get(&key) {
+                stats.hits.inc();
+                return Ok(Arc::clone(lu));
+            }
         }
         let lu = Arc::new(ZLu::factor_shifted(&self.artifact.g, &self.artifact.c, s)?);
         match lock_cache(&self.cache).entry(key) {
@@ -155,6 +290,7 @@ impl ServedRom {
 pub struct RomServer {
     models: Vec<ServedRom>,
     metrics: ServerMetrics,
+    envelope_policy: EnvelopePolicy,
 }
 
 impl RomServer {
@@ -185,6 +321,17 @@ impl RomServer {
     /// Number of loaded models.
     pub fn num_models(&self) -> usize {
         self.models.len()
+    }
+
+    /// The active out-of-envelope policy.
+    pub fn envelope_policy(&self) -> EnvelopePolicy {
+        self.envelope_policy
+    }
+
+    /// Sets the out-of-envelope policy for every subsequent query
+    /// (server-wide; the default is [`EnvelopePolicy::Flag`]).
+    pub fn set_envelope_policy(&mut self, policy: EnvelopePolicy) {
+        self.envelope_policy = policy;
     }
 
     /// The artifact behind a handle.
@@ -220,6 +367,114 @@ impl RomServer {
         ServerMetricsSnapshot {
             cache: self.metrics.cache.snapshot(),
             latency_us: self.metrics.query_latency_us.snapshot(),
+            envelope_refusals: self.metrics.envelope_refusals.get(),
+            envelope_flags: self.metrics.envelope_flags.get(),
+            panics_recovered: self.metrics.panics_recovered.get(),
+        }
+    }
+
+    /// Contains any panic escaping a query body: the public API surfaces
+    /// it as [`RomError::Internal`] instead of unwinding into the caller.
+    /// Sound to recover from because query bodies only read the immutable
+    /// artifact and the poison-tolerant shift cache — there is no
+    /// half-mutated server state a panic could leave behind.
+    fn contained<T>(&self, f: impl FnOnce() -> Result<T, RomError>) -> Result<T, RomError> {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(out) => out,
+            Err(payload) => {
+                self.metrics.panics_recovered.inc();
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic with non-string payload".to_string()
+                };
+                Err(RomError::Internal(msg))
+            }
+        }
+    }
+
+    /// Validates a frequency batch and applies the envelope policy.
+    /// Refusals count once per call; flags count once per offending
+    /// sample.
+    fn admit_frequencies(&self, a: &RomArtifact, omegas: &[f64]) -> Result<(), RomError> {
+        for &w in omegas {
+            if !w.is_finite() {
+                return Err(RomError::Query(QueryError::NonFiniteFrequency { value: w }));
+            }
+        }
+        if self.envelope_policy == EnvelopePolicy::Ignore {
+            return Ok(());
+        }
+        let Some((lo, hi)) = a.provenance.certificate.frequency_envelope() else {
+            return Ok(()); // no certificate evidence: nothing to enforce
+        };
+        let mut outside = 0u64;
+        let mut first = 0.0;
+        for &w in omegas {
+            if w < lo || w > hi {
+                if outside == 0 {
+                    first = w;
+                }
+                outside += 1;
+            }
+        }
+        if outside == 0 {
+            return Ok(());
+        }
+        match self.envelope_policy {
+            EnvelopePolicy::Strict => {
+                self.metrics.envelope_refusals.inc();
+                Err(RomError::Query(QueryError::OutsideEnvelope {
+                    value: first,
+                    lo,
+                    hi,
+                    domain: "frequency",
+                }))
+            }
+            EnvelopePolicy::Flag => {
+                self.metrics.envelope_flags.add(outside);
+                Ok(())
+            }
+            EnvelopePolicy::Ignore => unreachable!("handled above"),
+        }
+    }
+
+    /// Validates a transient step and applies the envelope policy: a
+    /// backward-Euler step below the certified floor `1/ω_hi` queries the
+    /// model above its certified band.
+    fn admit_step(&self, a: &RomArtifact, h: f64) -> Result<(), RomError> {
+        if !h.is_finite() {
+            return Err(RomError::Query(QueryError::NonFiniteStep { value: h }));
+        }
+        if h <= 0.0 {
+            return Err(RomError::Query(QueryError::NonPositiveStep { value: h }));
+        }
+        if self.envelope_policy == EnvelopePolicy::Ignore {
+            return Ok(());
+        }
+        let Some(h_min) = a.provenance.certificate.min_transient_step() else {
+            return Ok(());
+        };
+        if h >= h_min {
+            return Ok(());
+        }
+        match self.envelope_policy {
+            EnvelopePolicy::Strict => {
+                self.metrics.envelope_refusals.inc();
+                Err(RomError::Query(QueryError::OutsideEnvelope {
+                    value: h,
+                    lo: h_min,
+                    hi: f64::INFINITY,
+                    domain: "transient step",
+                }))
+            }
+            EnvelopePolicy::Flag => {
+                self.metrics.envelope_flags.inc();
+                Ok(())
+            }
+            EnvelopePolicy::Ignore => unreachable!("handled above"),
         }
     }
 
@@ -230,15 +485,20 @@ impl RomServer {
     ///
     /// # Errors
     ///
-    /// [`RomError::UnknownModel`], or the first per-frequency failure in
-    /// frequency order (e.g. a query hitting a pole).
+    /// [`RomError::UnknownModel`], [`RomError::Query`] for non-finite or
+    /// (under [`EnvelopePolicy::Strict`]) out-of-envelope frequencies, or
+    /// the first per-frequency failure in frequency order (e.g. a query
+    /// hitting a pole).
     pub fn transfer_sweep(&self, id: RomId, omegas: &[f64]) -> Result<Vec<CMatrix>, RomError> {
-        let _span = bdsm_obs::timing_span!("serve.sweep", freqs = omegas.len());
-        let served = self.served(id)?;
-        let metrics = &self.metrics;
-        par::parallel_map(omegas, |_, &w| served.eval(Complex64::jomega(w), metrics))
-            .into_iter()
-            .collect()
+        self.contained(|| {
+            let _span = bdsm_obs::timing_span!("serve.sweep", freqs = omegas.len());
+            let served = self.served(id)?;
+            self.admit_frequencies(&served.artifact, omegas)?;
+            let metrics = &self.metrics;
+            par::parallel_map(omegas, |_, &w| served.eval(Complex64::jomega(w), metrics))
+                .into_iter()
+                .collect()
+        })
     }
 
     /// One output/input port pair's response `H[out, in](jω)` over a
@@ -262,36 +522,47 @@ impl RomServer {
         in_port: usize,
         omegas: &[f64],
     ) -> Result<Vec<Complex64>, RomError> {
-        let _span = bdsm_obs::timing_span!("serve.port", freqs = omegas.len());
-        let served = self.served(id)?;
-        let a = &served.artifact;
-        if out_port >= a.num_outputs() {
-            return Err(RomError::Query("output port out of range"));
-        }
-        if in_port >= a.num_inputs() {
-            return Err(RomError::Query("input port out of range"));
-        }
-        let b_col = a.b.col(in_port);
-        let metrics = &self.metrics;
-        par::parallel_map(omegas, |_, &w| -> Result<Complex64, RomError> {
-            let s = Complex64::jomega(w);
-            let _span = bdsm_obs::span!("serve.query", re = s.re, omega = s.im);
-            let t = bdsm_obs::enabled(ObsLevel::Timings).then(Instant::now);
-            let lu = served.factored(s, &metrics.cache)?;
-            // One column solve + one row contraction, in the same
-            // operation order as `eval_transfer_factored`'s (i, j) entry.
-            let x = lu.solve_real(&b_col)?;
-            let mut acc = Complex64::ZERO;
-            for (lv, xv) in a.l.row(out_port).iter().zip(&x) {
-                acc += *xv * *lv;
+        self.contained(|| {
+            let _span = bdsm_obs::timing_span!("serve.port", freqs = omegas.len());
+            let served = self.served(id)?;
+            let a = &served.artifact;
+            if out_port >= a.num_outputs() {
+                return Err(RomError::Query(QueryError::PortOutOfRange {
+                    kind: "output",
+                    port: out_port,
+                    available: a.num_outputs(),
+                }));
             }
-            if let Some(t) = t {
-                metrics.query_latency_us.record_duration(t.elapsed());
+            if in_port >= a.num_inputs() {
+                return Err(RomError::Query(QueryError::PortOutOfRange {
+                    kind: "input",
+                    port: in_port,
+                    available: a.num_inputs(),
+                }));
             }
-            Ok(acc)
+            self.admit_frequencies(a, omegas)?;
+            let b_col = a.b.col(in_port);
+            let metrics = &self.metrics;
+            par::parallel_map(omegas, |_, &w| -> Result<Complex64, RomError> {
+                let s = Complex64::jomega(w);
+                let _span = bdsm_obs::span!("serve.query", re = s.re, omega = s.im);
+                let t = bdsm_obs::enabled(ObsLevel::Timings).then(Instant::now);
+                let lu = served.factored(s, &metrics.cache)?;
+                // One column solve + one row contraction, in the same
+                // operation order as `eval_transfer_factored`'s (i, j) entry.
+                let x = lu.solve_real(&b_col)?;
+                let mut acc = Complex64::ZERO;
+                for (lv, xv) in a.l.row(out_port).iter().zip(&x) {
+                    acc += *xv * *lv;
+                }
+                if let Some(t) = t {
+                    metrics.query_latency_us.record_duration(t.elapsed());
+                }
+                Ok(acc)
+            })
+            .into_iter()
+            .collect()
         })
-        .into_iter()
-        .collect()
     }
 
     /// Runs one backward-Euler transient over the served ROM: `inputs`
@@ -309,10 +580,13 @@ impl RomServer {
         h: f64,
         inputs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, RomError> {
-        let _span = bdsm_obs::timing_span!("serve.transient", steps = inputs.len());
-        let a = self.artifact(id)?;
-        let mut solver = TransientSolver::new(&a.g, &a.c, &a.b, &a.l, h)?;
-        Ok(solver.run_series(inputs)?)
+        self.contained(|| {
+            let _span = bdsm_obs::timing_span!("serve.transient", steps = inputs.len());
+            let a = self.artifact(id)?;
+            self.admit_step(a, h)?;
+            let mut solver = TransientSolver::new(&a.g, &a.c, &a.b, &a.l, h)?;
+            Ok(solver.run_series(inputs)?)
+        })
     }
 
     /// A batch of independent transients (one input waveform each), fanned
@@ -330,22 +604,26 @@ impl RomServer {
         h: f64,
         waveforms: &[Vec<Vec<f64>>],
     ) -> Result<Vec<Vec<Vec<f64>>>, RomError> {
-        let _span = bdsm_obs::timing_span!("serve.transient_batch", waveforms = waveforms.len());
-        let a = self.artifact(id)?;
-        if waveforms.is_empty() {
-            return Err(RomError::Query("empty transient batch"));
-        }
-        let proto = TransientSolver::new(&a.g, &a.c, &a.b, &a.l, h)?;
-        par::parallel_map_with(
-            waveforms,
-            || proto.clone(),
-            |solver, _, w| {
-                solver.reset();
-                solver.run_series(w).map_err(RomError::from)
-            },
-        )
-        .into_iter()
-        .collect()
+        self.contained(|| {
+            let _span =
+                bdsm_obs::timing_span!("serve.transient_batch", waveforms = waveforms.len());
+            let a = self.artifact(id)?;
+            if waveforms.is_empty() {
+                return Err(RomError::Query(QueryError::EmptyBatch));
+            }
+            self.admit_step(a, h)?;
+            let proto = TransientSolver::new(&a.g, &a.c, &a.b, &a.l, h)?;
+            par::parallel_map_with(
+                waveforms,
+                || proto.clone(),
+                |solver, _, w| {
+                    solver.reset();
+                    solver.run_series(w).map_err(RomError::from)
+                },
+            )
+            .into_iter()
+            .collect()
+        })
     }
 }
 

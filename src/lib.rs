@@ -8,8 +8,8 @@
 //! | step | type | what it does |
 //! |------|------|--------------|
 //! | *build* | [`rom::Reducer`] | typed builder over the staged engine; configuration validated at `build()` time ([`rom::BuildError`]) |
-//! | *save/load* | [`rom::RomArtifact`] | versioned binary serialization (magic + format version + checksum), **bitwise-exact** round-trips, JSON debug dump, provenance (engine version, shifts, residual trajectory) |
-//! | *serve* | [`rom::RomServer`] | thread-safe multi-model handle; caches per-shift factorizations; batched `transfer_sweep` / `port_response` / `transient` queries fan out over [`core::par`], bitwise-deterministic for any `BDSM_THREADS` |
+//! | *save/load* | [`rom::RomArtifact`] | versioned binary serialization (magic + format version + checksum), **bitwise-exact** round-trips, JSON debug dump, provenance (engine version, shifts, residual trajectory, and the [`rom::Certificate`]; format v3, v2 files still load with certificate `Unknown`) |
+//! | *serve* | [`rom::RomServer`] | thread-safe multi-model handle; caches per-shift factorizations; batched `transfer_sweep` / `port_response` / `transient` queries fan out over [`core::par`], bitwise-deterministic for any `BDSM_THREADS`; validates query inputs ([`rom::QueryError`]), enforces the certified envelope per [`rom::EnvelopePolicy`], and contains panics as [`rom::RomError::Internal`] |
 //!
 //! # Quickstart: build once, save, serve
 //!
@@ -54,9 +54,10 @@
 //! | *partition*| [`circuit`]    | [`circuit::partition::partition_network_with`] ([`circuit::PartitionStrategy`]: BFS oracle or interface-aware nested dissection), [`circuit::ReductionSet`] for user-designated reduction regions |
 //! | *factor*   | [`sparse`]     | [`sparse::CscMatrix`], [`sparse::SparseLu`] (scalar/supernodal [`sparse::NumericKernel`], panel-blocked multi-RHS solves), [`sparse::ShiftedPencil`] |
 //! | *reduce*   | [`core`]       | [`core::reduce::reduce_network`] and friends — the low-level path under [`rom::Reducer`], all over the staged [`core::engine::ReductionEngine`] (`Plan → Basis → Project → Certify`; adaptive shifts via [`core::engine::ShiftStrategy`], exact boundaries via [`core::projector::InterfacePolicy`]; parallel substrate: [`core::par`]) |
+//! | *certify*  | [`core`]       | [`core::certify::certify_reduced`] behind [`core::certify::CertifyOpts`] — semidefiniteness + positive-real passivity sampling, Lyapunov/spectral stability, per-band a posteriori error bounds; the resulting [`core::certify::Certificate`] travels in [`core::engine::EngineReport`] and artifact provenance |
 //! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`], [`core::transfer::eval_transfer_factored`] |
 //! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
-//! | *observe*  | [`obs`]        | [`obs::span!`](span!) / [`obs::timing_span!`](timing_span!) RAII span tracing (Chrome-trace export via [`obs::Trace`]), [`obs::metrics`] counter/gauge/histogram registry, [`rom::RomServer::metrics`]; one-atomic-load no-ops until `BDSM_OBS` (or [`obs::set_level`]) turns them on |
+//! | *observe*  | [`obs`]        | [`obs::span!`](span!) / [`obs::timing_span!`](timing_span!) RAII span tracing (Chrome-trace export via [`obs::Trace`]), [`obs::metrics`] counter/gauge/histogram registry, [`rom::RomServer::metrics`], [`obs::faultpoint!`](faultpoint!) fault-injection sites for robustness tests; one-atomic-load no-ops until `BDSM_OBS` (or [`obs::set_level`]) turns them on |
 //! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
 //!
 //! The free functions [`core::reduce::reduce_network`],
@@ -89,9 +90,10 @@ pub use bdsm_obs as obs;
 pub use bdsm_rom as rom;
 pub use bdsm_sim as sim;
 pub use bdsm_sparse as sparse;
-// The façade's doc table links `obs::span!` / `obs::timing_span!`;
-// `#[macro_export]` puts the macros at the re-exporting crate's root too.
-pub use bdsm_obs::{span, timing_span};
+// The façade's doc table links `obs::span!` / `obs::timing_span!` /
+// `obs::faultpoint!`; `#[macro_export]` puts the macros at the
+// re-exporting crate's root too.
+pub use bdsm_obs::{faultpoint, span, timing_span};
 
 /// Most-used types, for glob import.
 pub mod prelude {
@@ -100,9 +102,11 @@ pub mod prelude {
         partition::{partition_network, partition_network_with, PartitionStrategy},
         Network, ReductionSet, GROUND,
     };
-    pub use bdsm_core::engine::{
-        AdaptiveShiftOpts, Certificate, EngineReport, ReductionEngine, ShiftStrategy,
+    pub use bdsm_core::certify::{
+        CertStatus, Certificate, CertifyOpts, CheckOutcome, ErrorBand, PassivityCertificate,
+        StabilityCertificate,
     };
+    pub use bdsm_core::engine::{AdaptiveShiftOpts, EngineReport, ReductionEngine, ShiftStrategy};
     pub use bdsm_core::krylov::KrylovOpts;
     pub use bdsm_core::projector::InterfacePolicy;
     pub use bdsm_core::reduce::{
@@ -119,8 +123,8 @@ pub mod prelude {
     pub use bdsm_linalg::{Complex64, Matrix};
     pub use bdsm_obs::{MetricsSnapshot, ObsLevel, Trace};
     pub use bdsm_rom::{
-        BuildError, Provenance, Reducer, ReducerBuilder, RomArtifact, RomError, RomId, RomServer,
-        ServerMetricsSnapshot,
+        BuildError, EnvelopePolicy, Provenance, QueryError, Reducer, ReducerBuilder, RomArtifact,
+        RomError, RomId, RomServer, ServerMetricsSnapshot,
     };
     pub use bdsm_sim::TransientSolver;
     pub use bdsm_sparse::{
