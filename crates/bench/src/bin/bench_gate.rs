@@ -3,8 +3,12 @@
 //! Compares a fresh `BENCH_scaling.json` against the checked-in baseline
 //! and **fails (exit 1)** when the end-to-end reduce time at the gate size
 //! (default `n = 10_000`) regresses by more than the allowed factor
-//! (default 2×). Alongside the verdict it prints a GitHub-flavored
-//! markdown stage-time comparison, which CI appends to the job summary.
+//! (default 2×), or when the recorded parallel reduce speedup at
+//! `n = 50_000` falls below `max(2.0, 0.4 × reduce_workers)` (skipped with
+//! `n/a` on single-worker hosts, where the bench emits a `null` speedup).
+//! Alongside the verdict it prints a GitHub-flavored markdown stage-time
+//! comparison — including the per-point/merge split of the Krylov stage —
+//! which CI appends to the job summary.
 //!
 //! Usage:
 //! `bench_gate [current.json] [baseline.json]`
@@ -23,16 +27,70 @@ const DEFAULT_CURRENT: &str = "BENCH_scaling.json";
 const DEFAULT_BASELINE: &str = "crates/bench/baseline/BENCH_scaling_baseline.json";
 
 /// The per-stage fields shown in the comparison table, keyed by JSON name.
-const STAGES: [(&str, &str); 8] = [
+const STAGES: [(&str, &str); 11] = [
     ("stage_assemble_us", "assemble"),
     ("stage_partition_us", "partition"),
     ("stage_krylov_us", "krylov"),
+    ("krylov_point_us", "krylov: per-point"),
+    ("krylov_merge_us", "krylov: merge"),
     ("stage_svd_us", "svd"),
     ("stage_project_us", "project"),
+    ("stage_certify_us", "certify"),
     ("t_sweep_us", "sweep (full model)"),
     ("t_sparse_factor_solve_us", "factor+solve"),
     ("t_reduce_us", "reduce (end-to-end)"),
 ];
+
+/// Size whose parallel-speedup record the speedup gate reads: the largest
+/// default sweep size, where the Krylov fan-out has the most grist.
+const SPEEDUP_GATE_N: f64 = 50_000.0;
+
+/// Gates the parallel reduce speedup at `n = 50_000`: the panel-blocked
+/// merge tree and the pipelined shift factorizations must actually buy
+/// wall-clock, so the recorded `reduce_parallel_speedup` is held to
+/// `max(2.0, 0.4 × reduce_workers)`. A `null` speedup is the bench's
+/// single-worker convention — there was no parallel/serial contrast — and
+/// skips the gate (printed as `n/a`), as does an artifact whose size list
+/// did not include 50k. Returns `false` when the bar is missed.
+fn gate_parallel_speedup(current: &Json) -> bool {
+    let row = match find_row(current, SPEEDUP_GATE_N) {
+        Some(r) => r,
+        None => {
+            println!("\n(no record with n = {SPEEDUP_GATE_N}; parallel speedup not gated)");
+            return true;
+        }
+    };
+    let workers = row.num("reduce_workers").unwrap_or(1.0);
+    let speedup = match row.get("reduce_parallel_speedup") {
+        Some(Json::Null) | None => {
+            println!(
+                "\nparallel speedup gate at n = {SPEEDUP_GATE_N}: n/a \
+                 (parallel leg ran on a single worker; nothing to gate)"
+            );
+            return true;
+        }
+        Some(s) => match s.as_f64() {
+            Some(v) => v,
+            None => {
+                println!("\n(reduce_parallel_speedup not numeric; parallel speedup not gated)");
+                return true;
+            }
+        },
+    };
+    let required = 2.0_f64.max(0.4 * workers);
+    println!(
+        "\nparallel speedup gate at n = {SPEEDUP_GATE_N}: {speedup:.2}x on {workers:.0} workers \
+         (required ≥ {required:.2}x)"
+    );
+    if speedup < required {
+        println!(
+            "\n**GATE FAILED**: parallel reduce speedup {speedup:.2}x on {workers:.0} workers \
+             is below the required {required:.2}x"
+        );
+        return false;
+    }
+    true
+}
 
 /// Gates the adaptive-selection record when both artifacts carry one:
 /// the greedy engine's end-to-end time is held to the same regression
@@ -372,6 +430,9 @@ fn main() -> ExitCode {
     }
     if ratio > factor {
         println!("\n**GATE FAILED**: reduce time regressed {ratio:.2}x (> {factor:.2}x)");
+        return ExitCode::FAILURE;
+    }
+    if !gate_parallel_speedup(&current) {
         return ExitCode::FAILURE;
     }
     if !gate_partition(&current, &baseline) {

@@ -286,10 +286,13 @@ fn main() -> Result<(), BenchError> {
             );
         }
         println!(
-            "    stages: assemble {:.1} ms, partition {:.1} ms, krylov {:.1} ms, svd {:.1} ms, project {:.1} ms",
+            "    stages: assemble {:.1} ms, partition {:.1} ms, krylov {:.1} ms \
+             (point {:.1} ms + merge {:.1} ms), svd {:.1} ms, project {:.1} ms",
             stages.assemble_us / 1e3,
             stages.partition_us / 1e3,
             stages.krylov_us / 1e3,
+            stages.krylov_point_us / 1e3,
+            stages.krylov_merge_us / 1e3,
             stages.svd_us / 1e3,
             stages.project_us / 1e3
         );
@@ -842,7 +845,9 @@ fn render_json(
              \"t_reduce_us\": {:.1}, \"t_reduce_serial_us\": {:.1}, \
              \"reduce_workers\": {}, \"reduce_parallel_speedup\": {}, \
              \"stage_assemble_us\": {:.1}, \"stage_partition_us\": {:.1}, \
-             \"stage_krylov_us\": {:.1}, \"stage_svd_us\": {:.1}, \"stage_project_us\": {:.1}, \
+             \"stage_krylov_us\": {:.1}, \"krylov_point_us\": {:.1}, \
+             \"krylov_merge_us\": {:.1}, \"stage_svd_us\": {:.1}, \
+             \"stage_project_us\": {:.1}, \"stage_certify_us\": {:.1}, \
              \"t_sweep_us\": {:.1}, \"t_sweep_serial_us\": {:.1}, \
              \"sweep_workers\": {}, \"sweep_parallel_speedup\": {}, \"sweep_frequencies\": {}, \
              \"t_rom_eval_us\": {:.1}, \"reduced_dim\": {}, \
@@ -861,8 +866,11 @@ fn render_json(
             r.stages.assemble_us,
             r.stages.partition_us,
             r.stages.krylov_us,
+            r.stages.krylov_point_us,
+            r.stages.krylov_merge_us,
             r.stages.svd_us,
             r.stages.project_us,
+            r.stages.certify_us,
             r.t_sweep_us,
             r.t_sweep_serial_us,
             r.sweep_workers,

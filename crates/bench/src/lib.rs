@@ -136,6 +136,7 @@ mod tests {
                 jomega_points: vec![],
                 moments_per_point: 3,
                 deflation_tol: 1e-12,
+                ortho: Default::default(),
             },
             rank_tol: 1e-12,
             max_reduced_dim: None,

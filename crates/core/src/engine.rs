@@ -326,7 +326,11 @@ impl<'n> ReductionEngine<'n> {
     pub fn basis(&self, plan: &Plan, points: &[ExpansionPoint]) -> Result<Matrix> {
         self.validate_points(points)?;
         let raw = self.candidate_sets(plan, points);
-        Ok(merge_candidates(raw, self.opts.krylov.deflation_tol)?)
+        Ok(merge_candidates(
+            raw,
+            self.opts.krylov.deflation_tol,
+            self.opts.krylov.ortho,
+        )?)
     }
 
     fn validate_points(&self, points: &[ExpansionPoint]) -> Result<()> {
@@ -639,7 +643,11 @@ impl<'n> ReductionEngine<'n> {
         let (rom, basis_cols, cert, rom_sweep) = loop {
             let global = {
                 let _s = timing_span!("stage.krylov");
-                merge_candidate_sets(&cache, self.opts.krylov.deflation_tol)?
+                merge_candidate_sets(
+                    &cache,
+                    self.opts.krylov.deflation_tol,
+                    self.opts.krylov.ortho,
+                )?
             };
             let projector = {
                 let _s = timing_span!("stage.svd");

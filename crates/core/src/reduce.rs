@@ -279,6 +279,14 @@ pub struct StageTimings {
     /// (fans out per expansion point), plus the per-round merges of the
     /// adaptive loop.
     pub krylov_us: f64,
+    /// The per-point slice of `krylov_us`: `krylov.point` spans (pipelined
+    /// factorizations + block recurrences). Zero when the ambient obs
+    /// level was below `Timings` during the run.
+    pub krylov_point_us: f64,
+    /// The merge slice of `krylov_us`: `krylov.merge` spans (the blocked
+    /// panel-merge tree, or the sequential MGS merge under the oracle
+    /// kernel). Zero when the ambient obs level was below `Timings`.
+    pub krylov_merge_us: f64,
     /// Projector construction: per-block SVD compression (fans out per
     /// block), summed over adaptive rounds.
     pub svd_us: f64,
@@ -315,6 +323,8 @@ impl StageTimings {
             assemble_us: (trace.total_us("stage.plan") - partition_us).max(0.0),
             partition_us,
             krylov_us: trace.total_us("stage.krylov"),
+            krylov_point_us: trace.total_us("krylov.point"),
+            krylov_merge_us: trace.total_us("krylov.merge"),
             svd_us: trace.total_us("stage.svd"),
             project_us: trace.total_us("stage.project"),
             certify_us: trace.total_us("stage.certify"),
@@ -395,6 +405,7 @@ mod tests {
                 jomega_points: vec![],
                 moments_per_point: moments,
                 deflation_tol: 1e-10,
+                ortho: Default::default(),
             },
             rank_tol: 1e-12,
             max_reduced_dim: None,

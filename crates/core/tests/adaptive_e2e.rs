@@ -32,6 +32,7 @@ fn adaptive_exact_10k_grid_is_deterministic_and_accurate() {
             jomega_points: vec![4.5e2], // coarse initial shift
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(2000),

@@ -96,6 +96,7 @@ fn rc_ladder_500_states_5_blocks() {
             jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),
@@ -119,6 +120,7 @@ fn rc_grid_500_states_5_blocks() {
             jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),
@@ -143,6 +145,7 @@ fn feeder_with_inductors_reduces_accurately() {
             jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(97),
@@ -165,6 +168,7 @@ fn reduction_ratio_is_substantial() {
             jomega_points: vec![],
             moments_per_point: 2,
             deflation_tol: 1e-10,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: None,

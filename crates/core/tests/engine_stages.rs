@@ -23,6 +23,7 @@ fn fixed_opts(num_blocks: usize, max_dim: usize) -> ReductionOpts {
             jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(max_dim),

@@ -25,6 +25,7 @@ fn engine_opts() -> ReductionOpts {
             jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(48),
@@ -67,6 +68,57 @@ fn reduced_model_is_bitwise_invariant_under_thread_count() {
         assert_eq!(
             bytes, reference,
             "reduced model differs between 1 and {threads} workers"
+        );
+    }
+}
+
+/// The tentpole bar at scale: a full 10⁴-state reduce — pipelined shift
+/// factorizations feeding the panel-blocked merge tree — must stay
+/// bitwise-identical across worker counts. The merge tree's shape is a
+/// function of the expansion-point count alone and every produce/consume
+/// stage is a pure function of its point, so `BDSM_THREADS` ∈ {1, 2, 5}
+/// may only change wall-clock. Options stay lean (one moment, three
+/// points) to keep the debug-build cost of three 10⁴ reductions sane.
+#[test]
+fn full_reduce_at_1e4_is_bitwise_invariant_under_thread_count() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let net = rc_grid(100, 100, 1.0, 1e-3, 2.0);
+    let opts = ReductionOpts {
+        num_blocks: 8,
+        krylov: KrylovOpts {
+            expansion_points: vec![1.0e2],
+            jomega_points: vec![4.5e2, 4.0e3],
+            moments_per_point: 1,
+            deflation_tol: 1e-12,
+            ortho: Default::default(),
+        },
+        rank_tol: 1e-12,
+        max_reduced_dim: Some(40),
+        backend: SolverBackend::Sparse,
+        ..ReductionOpts::default()
+    };
+    let prev = std::env::var("BDSM_THREADS").ok();
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "5"] {
+        std::env::set_var("BDSM_THREADS", threads);
+        let (rm, stages) = reduce_network_timed(&net, &opts).unwrap();
+        // The timed path must also see the per-point/merge split the
+        // scaling bench records.
+        assert!(
+            stages.krylov_point_us > 0.0 && stages.krylov_merge_us > 0.0,
+            "krylov point/merge spans missing from the timed trace"
+        );
+        outputs.push((threads, model_bytes(&rm)));
+    }
+    match prev {
+        Some(v) => std::env::set_var("BDSM_THREADS", v),
+        None => std::env::remove_var("BDSM_THREADS"),
+    }
+    let (_, ref reference) = outputs[0];
+    for (threads, bytes) in &outputs[1..] {
+        assert_eq!(
+            bytes, reference,
+            "10^4-state reduced model differs between 1 and {threads} workers"
         );
     }
 }

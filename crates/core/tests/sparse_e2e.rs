@@ -35,6 +35,7 @@ fn sparse_backend_reduces_10k_state_grid() {
             jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(2000),
@@ -91,6 +92,7 @@ fn sparse_and_dense_backends_agree_at_500_states() {
             jomega_points: vec![5.0e1, 4.5e2, 4.0e3],
             moments_per_point: 2,
             deflation_tol: 1e-12,
+            ortho: Default::default(),
         },
         rank_tol: 1e-12,
         max_reduced_dim: Some(100),

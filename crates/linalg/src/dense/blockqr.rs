@@ -1,0 +1,217 @@
+//! Panel-blocked orthogonalization kernels (block classical Gram–Schmidt).
+//!
+//! The Krylov basis merge orthogonalizes *panels* of candidate columns
+//! against an accumulated orthonormal basis `Q`. Doing that column by
+//! column (MGS) is a chain of `dot`/`axpy` passes over `Q` — O(n·k) loads
+//! per candidate with no reuse. The blocked formulation hoists the whole
+//! panel into two GEMM-shaped passes:
+//!
+//! ```text
+//! H  = Qᵀ V        (gemm_tn_acc — the only transposed product we need)
+//! V -= Q  H        (gemm_sub — the existing panel kernel)
+//! ```
+//!
+//! run twice (block classical Gram–Schmidt with reorthogonalization,
+//! "BCGS2"), after which the panel is orthogonal to `Q` to working
+//! precision and only a small intra-panel pass remains. Both kernels
+//! consume `Q` column-major and contiguously, so each basis column is
+//! streamed once per pass instead of once per candidate.
+//!
+//! Everything here is sequential and deterministic: accumulation order
+//! depends only on panel shapes, never on how callers schedule panels
+//! across workers.
+
+#![allow(clippy::too_many_arguments)]
+
+use super::gemm::{gemm_sub, GemmScalar};
+
+/// `C += Aᵀ·B` on column-major panels: `A` is `n × p` (lda), `B` is
+/// `n × q` (ldb), `C` is `p × q` (ldc). The transposed-left product the
+/// plain [`gemm_acc`](super::gemm::gemm_acc) kernel cannot express —
+/// `C[i,j]` accumulates the dot of `A` column `i` with `B` column `j`
+/// over rows in order, so results are independent of panel blocking.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if a panel is smaller than its
+/// `leading dimension × extent` footprint.
+pub fn gemm_tn_acc<T: GemmScalar>(
+    n: usize,
+    p: usize,
+    q: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if n == 0 || p == 0 || q == 0 {
+        return;
+    }
+    debug_assert!(lda >= n && ldb >= n && ldc >= p);
+    for j in 0..q {
+        let bj = &b[j * ldb..j * ldb + n];
+        let cj = &mut c[j * ldc..j * ldc + p];
+        for (i, ci) in cj.iter_mut().enumerate().take(p) {
+            let ai = &a[i * lda..i * lda + n];
+            // Four-lane fused accumulation: fixed order (lane sums then a
+            // left-to-right combine), so the result is reproducible and
+            // the loop still vectorizes.
+            let mut acc = [T::default(); 4];
+            let mut r = 0;
+            while r + 4 <= n {
+                for (u, s) in acc.iter_mut().enumerate() {
+                    *s += ai[r + u] * bj[r + u];
+                }
+                r += 4;
+            }
+            let mut t = ((acc[0] + acc[1]) + acc[2]) + acc[3];
+            while r < n {
+                t += ai[r] * bj[r];
+                r += 1;
+            }
+            *ci += t;
+        }
+    }
+}
+
+/// One block classical Gram–Schmidt pass: projects the `n × pc` panel `v`
+/// (column-major, leading dimension `n`) against the orthonormal `n × qc`
+/// basis panel `q` (column-major, leading dimension `n`):
+/// `H = Qᵀ·V; V -= Q·H`. `h` is caller-owned scratch, resized and
+/// overwritten; callers run the pass twice for reorthogonalization.
+pub fn block_project<T: GemmScalar>(
+    n: usize,
+    qc: usize,
+    q: &[T],
+    pc: usize,
+    v: &mut [T],
+    h: &mut Vec<T>,
+) {
+    if qc == 0 || pc == 0 || n == 0 {
+        return;
+    }
+    h.clear();
+    h.resize(qc * pc, T::default());
+    gemm_tn_acc(n, qc, pc, q, n, v, n, h, qc);
+    gemm_sub(n, qc, pc, q, n, h, qc, v, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive_over_shapes() {
+        // Row counts straddle the 4-lane fused width, including remainders.
+        for &(n, p, q) in &[(1, 1, 1), (3, 2, 2), (4, 3, 1), (11, 5, 4), (32, 7, 3)] {
+            let a = fill(n * p, 0x51 + (n * p) as u64);
+            let b = fill(n * q, 0x52 + (n * q) as u64);
+            let mut c = fill(p * q, 0x53);
+            let mut cref = c.clone();
+            gemm_tn_acc(n, p, q, &a, n, &b, n, &mut c, p);
+            for j in 0..q {
+                for i in 0..p {
+                    let mut t = 0.0;
+                    for r in 0..n {
+                        t += a[i * n + r] * b[j * n + r];
+                    }
+                    cref[j * p + i] += t;
+                }
+            }
+            for (x, y) in c.iter().zip(&cref) {
+                assert!((x - y).abs() < 1e-13, "tn mismatch at ({n},{p},{q})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_respects_leading_dimensions() {
+        let (n, p, q) = (5, 2, 3);
+        let (lda, ldb, ldc) = (7, 6, 4);
+        let a = fill(lda * p, 1);
+        let b = fill(ldb * q, 2);
+        let mut c = fill(ldc * q, 3);
+        let mut cref = c.clone();
+        gemm_tn_acc(n, p, q, &a, lda, &b, ldb, &mut c, ldc);
+        for j in 0..q {
+            for i in 0..p {
+                let mut t = 0.0;
+                for r in 0..n {
+                    t += a[i * lda + r] * b[j * ldb + r];
+                }
+                cref[j * ldc + i] += t;
+            }
+        }
+        for (x, y) in c.iter().zip(&cref) {
+            assert!((x - y).abs() < 1e-13);
+        }
+        // Rows p..ldc of each C column are untouched padding.
+        for j in 0..q {
+            for i in p..ldc {
+                assert_eq!(c[j * ldc + i], cref[j * ldc + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn block_project_annihilates_basis_components() {
+        // Q = orthonormalized random columns; after two projection passes
+        // every panel column is orthogonal to every Q column to ~1e-14.
+        let n = 40;
+        let qc = 5;
+        let mut q = fill(n * qc, 0xabc);
+        for j in 0..qc {
+            for i in 0..j {
+                let h: f64 = (0..n).map(|r| q[i * n + r] * q[j * n + r]).sum();
+                for r in 0..n {
+                    q[j * n + r] -= h * q[i * n + r];
+                }
+            }
+            let nrm: f64 = (0..n)
+                .map(|r| q[j * n + r] * q[j * n + r])
+                .sum::<f64>()
+                .sqrt();
+            for r in 0..n {
+                q[j * n + r] /= nrm;
+            }
+        }
+        let pc = 3;
+        let mut v = fill(n * pc, 0xdef);
+        let mut h = Vec::new();
+        block_project(n, qc, &q, pc, &mut v, &mut h);
+        block_project(n, qc, &q, pc, &mut v, &mut h);
+        for j in 0..pc {
+            for i in 0..qc {
+                let d: f64 = (0..n).map(|r| q[i * n + r] * v[j * n + r]).sum();
+                assert!(d.abs() < 1e-13, "residual component q{i}·v{j} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_extents_are_noops() {
+        let a = [1.0];
+        let mut c = [3.0];
+        gemm_tn_acc(0, 1, 1, &a, 1, &a, 1, &mut c, 1);
+        gemm_tn_acc(1, 0, 1, &a, 1, &a, 1, &mut c, 1);
+        gemm_tn_acc(1, 1, 0, &a, 1, &a, 1, &mut c, 1);
+        assert_eq!(c[0], 3.0);
+        let mut h = Vec::new();
+        block_project(1, 0, &a, 1, &mut c, &mut h);
+        assert_eq!(c[0], 3.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Dense kernels: matrix storage, factorizations, and spectral routines.
 
+pub mod blockqr;
 pub mod eig_sym;
 pub mod gemm;
 pub mod hessenberg;
@@ -8,6 +9,7 @@ pub mod matrix;
 pub mod qr;
 pub mod svd;
 
+pub use blockqr::{block_project, gemm_tn_acc};
 pub use eig_sym::{sym_eig_extremes, sym_min_eig, SymEig};
 pub use gemm::{gemm_acc, gemm_sub, trsv_unit_lower, GemmScalar, KernelShape, KERNEL_SHAPE};
 pub use hessenberg::{hessenberg, solve_shifted_hessenberg, Hessenberg};

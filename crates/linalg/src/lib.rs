@@ -33,8 +33,8 @@ pub mod vector;
 
 pub use complex::Complex64;
 pub use dense::{
-    gemm_acc, gemm_sub, hessenberg, solve_shifted_hessenberg, sym_eig_extremes, sym_min_eig,
-    trsv_unit_lower, DenseLu, DenseQr, GemmScalar, Hessenberg, KernelShape, Matrix, Svd, SymEig,
-    KERNEL_SHAPE,
+    block_project, gemm_acc, gemm_sub, gemm_tn_acc, hessenberg, solve_shifted_hessenberg,
+    sym_eig_extremes, sym_min_eig, trsv_unit_lower, DenseLu, DenseQr, GemmScalar, Hessenberg,
+    KernelShape, Matrix, Svd, SymEig, KERNEL_SHAPE,
 };
 pub use error::{LinalgError, Result};

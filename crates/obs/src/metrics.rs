@@ -261,18 +261,26 @@ pub struct Metrics {
     pub lu_supernode_panels: Counter,
     /// MGS re-orthogonalization passes run while merging Krylov candidates.
     pub mgs_reorth_passes: Counter,
+    /// Candidate panels absorbed by the blocked orthogonalization kernel
+    /// (each = two block-projection passes plus an intra-panel sweep).
+    pub ortho_panel_merges: Counter,
     /// Nonzeros (L + U) of the most recent sparse LU factorization.
     pub factor_nnz: Gauge,
     /// Basis column count of the most recent reduction merge.
     pub basis_columns: Gauge,
+    /// Peak ready-queue occupancy of the most recent pipelined fan-out
+    /// (the factor queue): produced-but-not-yet-consumed items.
+    pub factor_queue_peak: Gauge,
 }
 
 static METRICS: Metrics = Metrics {
     lu_factorizations: Counter::new(),
     lu_supernode_panels: Counter::new(),
     mgs_reorth_passes: Counter::new(),
+    ortho_panel_merges: Counter::new(),
     factor_nnz: Gauge::new(),
     basis_columns: Gauge::new(),
+    factor_queue_peak: Gauge::new(),
 };
 
 /// The process-global [`Metrics`] registry.
@@ -287,10 +295,12 @@ impl Metrics {
                 ("lu_factorizations", self.lu_factorizations.get()),
                 ("lu_supernode_panels", self.lu_supernode_panels.get()),
                 ("mgs_reorth_passes", self.mgs_reorth_passes.get()),
+                ("ortho_panel_merges", self.ortho_panel_merges.get()),
             ],
             gauges: vec![
                 ("factor_nnz", self.factor_nnz.get()),
                 ("basis_columns", self.basis_columns.get()),
+                ("factor_queue_peak", self.factor_queue_peak.get()),
             ],
         }
     }
@@ -300,8 +310,10 @@ impl Metrics {
         self.lu_factorizations.reset();
         self.lu_supernode_panels.reset();
         self.mgs_reorth_passes.reset();
+        self.ortho_panel_merges.reset();
         self.factor_nnz.reset();
         self.basis_columns.reset();
+        self.factor_queue_peak.reset();
     }
 }
 
@@ -416,8 +428,10 @@ mod tests {
             lu_factorizations: Counter::new(),
             lu_supernode_panels: Counter::new(),
             mgs_reorth_passes: Counter::new(),
+            ortho_panel_merges: Counter::new(),
             factor_nnz: Gauge::new(),
             basis_columns: Gauge::new(),
+            factor_queue_peak: Gauge::new(),
         };
         m.lu_factorizations.add(3);
         m.factor_nnz.set(12345);

@@ -226,6 +226,7 @@ impl Default for ReducerBuilder {
                     jomega_points: Vec::new(),
                     moments_per_point: 2,
                     deflation_tol: 1e-12,
+                    ortho: Default::default(),
                 },
                 rank_tol: 1e-12,
                 max_reduced_dim: None,

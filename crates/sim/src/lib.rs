@@ -303,6 +303,7 @@ mod tests {
                 jomega_points: vec![],
                 moments_per_point: 4,
                 deflation_tol: 1e-12,
+                ortho: Default::default(),
             },
             rank_tol: 1e-12,
             max_reduced_dim: None,
@@ -342,6 +343,7 @@ mod tests {
                 jomega_points: vec![],
                 moments_per_point: 4,
                 deflation_tol: 1e-12,
+                ortho: Default::default(),
             },
             rank_tol: 1e-12,
             max_reduced_dim: None,

@@ -138,17 +138,26 @@ struct Supernode<T> {
     vals: Vec<T>,
 }
 
-/// One supernode panel retained for blocked forward substitution:
-/// `ncols` consecutive pivot steps (starting at `start`) whose `L`
-/// columns share the same below-diagonal row set.
+/// One supernode panel retained for blocked forward **and** backward
+/// substitution: `ncols` consecutive pivot steps (starting at `start`)
+/// whose `L` columns share the same below-diagonal row set.
 ///
-/// `diag` is the `w × w` unit-lower diagonal block, column-major (entries
-/// on/above the in-panel diagonal are structural zeros and never read).
-/// `below_t` stores `L(below, S)ᵀ`: for each shared below row, its `w`
-/// panel values contiguously (`w × below`, column-major, `ld = w`) — the
-/// layout the solve's transposed panel GEMM consumes directly.
-/// `below_steps` are the below rows as **pivot steps** (all `≥ start + w`),
-/// the forward pass's target coordinates.
+/// Forward (`L`) side: `diag` is the `w × w` unit-lower diagonal block,
+/// column-major (entries on/above the in-panel diagonal are structural
+/// zeros and never read). `below_t` stores `L(below, S)ᵀ`: for each shared
+/// below row, its `w` panel values contiguously (`w × below`,
+/// column-major, `ld = w`) — the layout the solve's transposed panel GEMM
+/// consumes directly. `below_steps` are the below rows as **pivot steps**
+/// (all `≥ start + w`), the forward pass's target coordinates.
+///
+/// Backward (`U`) side, mirroring the same supernode's pivot steps:
+/// `udiag` is the `w × w` upper-triangular block of `U` over the panel
+/// steps (column-major; diagonal = the pivots, entries below it structural
+/// zeros and never read). `above_steps` are the union of the panel
+/// columns' above-panel `U` row steps (all `< start`, ascending), and
+/// `above_t` stores `U(above, S)` row-contiguously (`w × above`,
+/// column-major, `ld = w`; structural zeros where a column has no entry) —
+/// the backward pass's transposed panel GEMM operand.
 #[derive(Debug, Clone)]
 struct SolvePanel<T> {
     start: usize,
@@ -156,6 +165,9 @@ struct SolvePanel<T> {
     diag: Vec<T>,
     below_steps: Vec<usize>,
     below_t: Vec<T>,
+    udiag: Vec<T>,
+    above_steps: Vec<usize>,
+    above_t: Vec<T>,
 }
 
 /// Borrowed CSC parts of the matrix being factored — lets the shifted
@@ -291,11 +303,11 @@ impl<T: Scalar> SparseLu<T> {
 
     /// Solves `A x = b`.
     ///
-    /// The forward pass runs blocked over the supernode panels retained
-    /// from a supernodal factorization (see
-    /// [`solve_multi`](Self::solve_multi) for the shared substitution and
-    /// its parity contract); scalar-kernel factorizations walk the stored
-    /// `L` columns as before.
+    /// Both triangular passes run blocked over the supernode panels
+    /// retained from a supernodal factorization (see
+    /// [`solve_multi`](Self::solve_multi) for the shared substitutions and
+    /// their parity contract); scalar-kernel factorizations walk the
+    /// stored `L`/`U` columns as before.
     ///
     /// # Errors
     ///
@@ -312,24 +324,19 @@ impl<T: Scalar> SparseLu<T> {
         // y lives in pivot-step coordinates.
         let mut y: Vec<T> = self.prow.iter().map(|&p| b[p]).collect();
         self.forward_substitute(&mut y, 1);
-        // Backward through U, undoing the column ordering at the end.
+        self.backward_substitute(&mut y, 1);
+        // Undo the column ordering.
         let mut out = vec![T::ZERO; n];
-        for j in (0..n).rev() {
-            let xj = y[j] / self.u_diag[j];
+        for (j, &xj) in y.iter().enumerate() {
             out[self.q[j]] = xj;
-            if xj.is_zero() {
-                continue;
-            }
-            for &(k, uv) in &self.u_cols[j] {
-                y[k] -= uv * xj;
-            }
         }
         Ok(out)
     }
 
-    /// Number of supernode panels the forward substitution runs blocked
+    /// Number of supernode panels the triangular substitutions run blocked
     /// over — zero for scalar-kernel factorizations and for quasi-1D
-    /// matrices whose columns opted out of packing.
+    /// matrices whose columns opted out of packing. Each retained panel
+    /// serves both the forward (`L`) and backward (`U`) pass.
     pub fn solve_panel_count(&self) -> usize {
         self.panels.len()
     }
@@ -506,6 +513,194 @@ impl<T: Scalar> SparseLu<T> {
         }
     }
 
+    /// Shared backward pass `U x = y` over an RHS-contiguous buffer (`m`
+    /// values per pivot step), leaving `x` in pivot-step coordinates (the
+    /// caller scatters through `q`). Retained supernode panels run blocked
+    /// — sequential substitution through the packed upper-triangular block
+    /// plus one transposed panel GEMM over the gathered above rows — and
+    /// every other step walks its stored `U` entries with the historical
+    /// zero-skip guard.
+    ///
+    /// The per-system commit decision mirrors
+    /// [`forward_substitute`](Self::forward_substitute) exactly, so the
+    /// solve/solve_multi bitwise-parity contract extends end to end.
+    fn backward_substitute(&self, y: &mut [T], m: usize) {
+        let n = self.n;
+        let mut mask: Vec<bool> = Vec::new();
+        let mut gathered_b: Vec<T> = Vec::new();
+        let mut gathered_c: Vec<T> = Vec::new();
+        let mut panels = self.panels.iter().rev().peekable();
+        let mut j = n;
+        while j > 0 {
+            if let Some(&p) = panels.peek() {
+                if p.start + p.ncols == j {
+                    self.backward_panel(p, y, m, &mut mask, &mut gathered_b, &mut gathered_c);
+                    j = p.start;
+                    panels.next();
+                    continue;
+                }
+            }
+            j -= 1;
+            let (head, tail) = y.split_at_mut(j * m);
+            let xj = &mut tail[..m];
+            for x in xj.iter_mut() {
+                *x = *x / self.u_diag[j];
+            }
+            if self.u_cols[j].is_empty() {
+                continue;
+            }
+            // A zero component must be skipped exactly like the historical
+            // scalar backward walk skipped a zero solution value, so the
+            // kernel path is reserved for fully nonzero slices.
+            let all_nonzero = xj.iter().all(|v| !v.is_zero());
+            for &(k, uv) in &self.u_cols[j] {
+                let row = &mut head[k * m..k * m + m];
+                if all_nonzero {
+                    gemm_sub(1, 1, m, &[uv], 1, xj, 1, row, 1);
+                } else {
+                    for (rk, &vk) in row.iter_mut().zip(xj.iter()) {
+                        if !vk.is_zero() {
+                            *rk -= uv * vk;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One retained panel of the backward pass. Systems whose `w` panel
+    /// components are all nonzero on entry commit to the blocked path: the
+    /// upper-triangular block is substituted in scalar (descending) column
+    /// order, then the gathered above rows take a single transposed GEMM
+    /// `Yᵀ(above) -= Xᵀ(S) · U(above, S)ᵀ` at panel width — whose fused
+    /// accumulation consumes the panel columns in the same order for one
+    /// system as for any batch, keeping multi- and single-RHS solves
+    /// bitwise-identical. Systems with a zero panel component replay the
+    /// scalar step walk verbatim (per-component zero-skip included).
+    fn backward_panel(
+        &self,
+        p: &SolvePanel<T>,
+        y: &mut [T],
+        m: usize,
+        mask: &mut Vec<bool>,
+        gathered_b: &mut Vec<T>,
+        gathered_c: &mut Vec<T>,
+    ) {
+        let w = p.ncols;
+        let base = p.start * m;
+        mask.clear();
+        mask.resize(m, false);
+        let mut e = 0;
+        for (k, ok) in mask.iter_mut().enumerate() {
+            *ok = (0..w).all(|t| !y[base + t * m + k].is_zero());
+            if *ok {
+                e += 1;
+            }
+        }
+        if e < m {
+            // Scalar replay for the ineligible systems, walking the stored
+            // U entries exactly as a standalone solve would.
+            for t in (0..w).rev() {
+                let j = p.start + t;
+                for k in (0..m).filter(|&k| !mask[k]) {
+                    let xjk = y[j * m + k] / self.u_diag[j];
+                    y[j * m + k] = xjk;
+                    if xjk.is_zero() {
+                        continue;
+                    }
+                    for &(kstep, uv) in &self.u_cols[j] {
+                        y[kstep * m + k] -= uv * xjk;
+                    }
+                }
+            }
+        }
+        if e == 0 {
+            return;
+        }
+        // Upper-triangular block in scalar (descending) column order; the
+        // entry commit replaces the per-component zero-skip for the
+        // committed systems (part of the shared op-sequence definition).
+        for t in (0..w).rev() {
+            let j = p.start + t;
+            {
+                let xt = &mut y[base + t * m..base + (t + 1) * m];
+                if e == m {
+                    for x in xt.iter_mut() {
+                        *x = *x / self.u_diag[j];
+                    }
+                } else {
+                    for (k, x) in xt.iter_mut().enumerate() {
+                        if mask[k] {
+                            *x = *x / self.u_diag[j];
+                        }
+                    }
+                }
+            }
+            for s in 0..t {
+                let d = p.udiag[t * w + s];
+                let (head, tail) = y.split_at_mut(base + t * m);
+                let xt = &tail[..m];
+                let ys = &mut head[base + s * m..base + s * m + m];
+                if e == m {
+                    gemm_sub(1, 1, m, &[d], 1, xt, 1, ys, 1);
+                } else {
+                    for (k, (sv, &tv)) in ys.iter_mut().zip(xt).enumerate() {
+                        if mask[k] {
+                            *sv -= d * tv;
+                        }
+                    }
+                }
+            }
+        }
+        let above = p.above_steps.len();
+        if above == 0 {
+            return;
+        }
+        if e == m {
+            // The panel block of `y` is already the (m × w) column-major
+            // left operand; only the scattered above rows need gathering.
+            gathered_c.clear();
+            for &us in &p.above_steps {
+                gathered_c.extend_from_slice(&y[us * m..us * m + m]);
+            }
+            gemm_sub(
+                m,
+                w,
+                above,
+                &y[base..base + w * m],
+                m,
+                &p.above_t,
+                w,
+                gathered_c,
+                m,
+            );
+            for (i, &us) in p.above_steps.iter().enumerate() {
+                y[us * m..us * m + m].copy_from_slice(&gathered_c[i * m..(i + 1) * m]);
+            }
+        } else {
+            gathered_b.clear();
+            for t in 0..w {
+                for k in (0..m).filter(|&k| mask[k]) {
+                    gathered_b.push(y[base + t * m + k]);
+                }
+            }
+            gathered_c.clear();
+            for &us in &p.above_steps {
+                for k in (0..m).filter(|&k| mask[k]) {
+                    gathered_c.push(y[us * m + k]);
+                }
+            }
+            gemm_sub(e, w, above, gathered_b, e, &p.above_t, w, gathered_c, e);
+            let mut idx = 0;
+            for &us in &p.above_steps {
+                for k in (0..m).filter(|&k| mask[k]) {
+                    y[us * m + k] = gathered_c[idx];
+                    idx += 1;
+                }
+            }
+        }
+    }
+
     /// Solves with a real right-hand side (embedding into `T`).
     ///
     /// # Errors
@@ -522,11 +717,12 @@ impl<T: Scalar> SparseLu<T> {
     ///
     /// The panel is transposed into RHS-contiguous layout so both
     /// triangular passes traverse the `L`/`U` index structure **once** for
-    /// all `m` systems. The forward pass additionally runs **blocked over
-    /// the retained supernode panels**: the packed diagonal block is
-    /// substituted in place and the shared below rows take one
-    /// [`bdsm_linalg::gemm_sub`] panel update of width `w × m` instead of
-    /// `w` scattered column walks. Each system performs exactly the
+    /// all `m` systems. Both passes additionally run **blocked over the
+    /// retained supernode panels**: the packed triangular block is
+    /// substituted in place and the shared below (forward) / above
+    /// (backward) rows take one [`bdsm_linalg::gemm_sub`] panel update of
+    /// width `w × m` instead of `w` scattered column walks. Each system
+    /// performs exactly the
     /// floating-point operations a standalone [`solve`](Self::solve) would
     /// perform, in the same order — both entry points share one
     /// substitution routine and make identical per-system path decisions —
@@ -557,31 +753,13 @@ impl<T: Scalar> SparseLu<T> {
             }
         }
         self.forward_substitute(&mut y, m);
-        // Backward through U, undoing the column ordering at the end.
+        self.backward_substitute(&mut y, m);
+        // Undo the column ordering.
         let mut out = vec![T::ZERO; n * m];
-        for j in (0..n).rev() {
-            let (head, tail) = y.split_at_mut(j * m);
-            let xj = &mut tail[..m];
+        for j in 0..n {
             let qj = self.q[j];
-            for (k, x) in xj.iter_mut().enumerate() {
-                *x = *x / self.u_diag[j];
-                out[k * n + qj] = *x;
-            }
-            if self.u_cols[j].is_empty() {
-                continue;
-            }
-            let all_nonzero = xj.iter().all(|v| !v.is_zero());
-            for &(kstep, uv) in &self.u_cols[j] {
-                let row = &mut head[kstep * m..kstep * m + m];
-                if all_nonzero {
-                    gemm_sub(1, 1, m, &[uv], 1, xj, 1, row, 1);
-                } else {
-                    for (rk, &vk) in row.iter_mut().zip(xj.iter()) {
-                        if !vk.is_zero() {
-                            *rk -= uv * vk;
-                        }
-                    }
-                }
+            for k in 0..m {
+                out[k * n + qj] = y[j * m + k];
             }
         }
         Ok(out)
@@ -633,10 +811,12 @@ fn factor_parts<T: Scalar>(
         }
     }
     res?;
-    // Retain the supernodes (width ≥ 2) as solve panels: the diagonal
+    // Retain the supernodes (width ≥ 2) as solve panels: the `L` diagonal
     // block verbatim, the below block transposed into the row-contiguous
-    // layout the forward pass's panel GEMM reads, and the below rows
-    // mapped to their (now final) pivot steps.
+    // layout the forward pass's panel GEMM reads, the below rows mapped to
+    // their (now final) pivot steps — and the matching `U` panel (packed
+    // upper-triangular block plus the gathered above rows) so the backward
+    // pass runs blocked over the same pivot steps.
     let mut panels = Vec::new();
     for sn in &ws.snodes[..ws.snodes_used] {
         if sn.ncols < 2 {
@@ -656,12 +836,43 @@ fn factor_parts<T: Scalar>(
                 below_t[i * w + t] = sn.vals[t * nr + w + i];
             }
         }
+        // Upper side: `u_cols` already stores targets as pivot steps, so
+        // the panel's U structure splits by step against `sn.start`.
+        let mut udiag = vec![T::ZERO; w * w];
+        let mut above_steps: Vec<usize> = Vec::new();
+        for t in 0..w {
+            let j = sn.start + t;
+            udiag[t * w + t] = st.u_diag[j];
+            for &(k, uv) in &st.u_cols[j] {
+                if k >= sn.start {
+                    udiag[t * w + (k - sn.start)] = uv;
+                } else {
+                    above_steps.push(k);
+                }
+            }
+        }
+        above_steps.sort_unstable();
+        above_steps.dedup();
+        let mut above_t = vec![T::ZERO; w * above_steps.len()];
+        for t in 0..w {
+            for &(k, uv) in &st.u_cols[sn.start + t] {
+                if k < sn.start {
+                    let i = above_steps
+                        .binary_search(&k)
+                        .expect("above step collected above");
+                    above_t[i * w + t] = uv;
+                }
+            }
+        }
         panels.push(SolvePanel {
             start: sn.start,
             ncols: w,
             diag,
             below_steps,
             below_t,
+            udiag,
+            above_steps,
+            above_t,
         });
     }
     let lu = SparseLu {
@@ -1580,9 +1791,9 @@ mod tests {
 
     #[test]
     fn panel_blocked_solve_matches_scalar_reference_walk() {
-        // The retained panels must encode exactly the stored L columns: the
-        // blocked solve agrees with a scalar column walk over the same
-        // factors to fused-sum roundoff.
+        // The retained panels must encode exactly the stored L and U
+        // columns: the blocked solve (both triangular passes) agrees with a
+        // scalar column walk over the same factors to fused-sum roundoff.
         let n = 120;
         let a = filled_matrix(n, 8, 0x9a7e15);
         let lu = SparseLu::factor(&a).unwrap();
@@ -1662,6 +1873,88 @@ mod tests {
         for k in 0..m {
             let one = lu.solve_real(&rhs[k * n..(k + 1) * n]).unwrap();
             assert_eq!(&multi[k * n..(k + 1) * n], &one[..], "complex column {k}");
+        }
+    }
+
+    #[test]
+    fn panel_blocked_complex_solve_matches_scalar_reference_walk() {
+        // Backward-pass coverage for the complex scalar: the U panels of a
+        // shifted factorization must agree with the historical scalar
+        // backward walk to fused-sum roundoff.
+        let n = 110;
+        let g = filled_matrix(n, 8, 0xface7);
+        let c = CscMatrix::from_triplets(
+            n,
+            n,
+            &(0..n)
+                .map(|i| (i, i, 1e-3 * (1.0 + i as f64)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let pencil = ShiftedPencil::new(&g, &c).unwrap();
+        let lu = pencil.factor_complex(Complex64::jomega(420.0)).unwrap();
+        assert!(lu.solve_panel_count() > 0, "no complex panels retained");
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((0.13 * i as f64).sin(), 0.2 + (0.07 * i as f64).cos()))
+            .collect();
+        let x = lu.solve(&b).unwrap();
+        let xref = reference_solve(&lu, &b);
+        let num: f64 = x
+            .iter()
+            .zip(&xref)
+            .map(|(p, q)| (*p - *q).abs_sq())
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = xref.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        assert!(
+            num / den < 1e-12,
+            "complex blocked solve drifted from scalar walk: {}",
+            num / den
+        );
+    }
+
+    #[test]
+    fn backward_panels_exercise_above_rows_on_mixed_rhs() {
+        // The supernodal factors must actually retain upper structure (a
+        // panel with above-panel U rows feeding the backward GEMM), and the
+        // full mixed-sparsity parity contract must hold across it: dense
+        // systems commit to both blocked passes, sparse ones replay the
+        // scalar walks, and every column of solve_multi equals its
+        // standalone solve bit for bit while staying within fused-sum
+        // roundoff of the reference walk.
+        let n = 140;
+        let a = filled_matrix(n, 9, 0x0ddba11);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(
+            lu.panels.iter().any(|p| !p.above_steps.is_empty()),
+            "no panel retained above-panel U rows; densify the test matrix"
+        );
+        let m = 4;
+        let mut rhs = vec![0.0f64; n * m];
+        for i in 0..n {
+            rhs[i] = (0.41 * i as f64).sin() - 0.3;
+            // Column 1: scattered zeros; column 2 all-zero; column 3 a
+            // two-entry spike deep in the elimination order.
+            rhs[n + i] = if i % 6 == 0 {
+                0.0
+            } else {
+                (0.05 * i as f64).cos()
+            };
+        }
+        rhs[3 * n + n - 2] = 0.9;
+        rhs[3 * n + 5] = -1.1;
+        let multi = lu.solve_multi(&rhs, m).unwrap();
+        for k in 0..m {
+            let col = &rhs[k * n..(k + 1) * n];
+            let one = lu.solve(col).unwrap();
+            assert_eq!(
+                &multi[k * n..(k + 1) * n],
+                &one[..],
+                "backward-panel solve_multi column {k} drifted from solve"
+            );
+            let xref = reference_solve(&lu, col);
+            let rel = bdsm_linalg::vector::rel_err(&one, &xref, 1e-30);
+            assert!(rel < 1e-12, "column {k} drifted from scalar walk: {rel}");
         }
     }
 
