@@ -6,6 +6,11 @@
 //! (default 2×), or when the recorded parallel reduce speedup at
 //! `n = 50_000` falls below `max(2.0, 0.4 × reduce_workers)` (skipped with
 //! `n/a` on single-worker hosts, where the bench emits a `null` speedup).
+//! When a `BENCH_cluster.json` record is present it is gated too:
+//! distributed replies must be **bitwise-equal** to the local server
+//! (exact — no noise allowance) and the batched cluster throughput must
+//! reach ≥ 1.0× the single-server baseline (skipped on single-CPU hosts,
+//! where the bench emits a `null` ratio).
 //! Alongside the verdict it prints a GitHub-flavored markdown stage-time
 //! comparison — including the per-point/merge split of the Krylov stage —
 //! which CI appends to the job summary.
@@ -25,6 +30,8 @@ use std::process::ExitCode;
 
 const DEFAULT_CURRENT: &str = "BENCH_scaling.json";
 const DEFAULT_BASELINE: &str = "crates/bench/baseline/BENCH_scaling_baseline.json";
+/// The distributed-serving record (no baseline: its bars are absolute).
+const DEFAULT_CLUSTER: &str = "BENCH_cluster.json";
 
 /// The per-stage fields shown in the comparison table, keyed by JSON name.
 const STAGES: [(&str, &str); 11] = [
@@ -295,6 +302,106 @@ fn gate_serve(current: &Json, baseline: &Json, factor: f64) -> bool {
     }
 }
 
+/// Gates the distributed-serving record (`BENCH_cluster.json`, written
+/// by the scaling bench's cluster scenario; absent on non-at-scale runs,
+/// which is not an error). Two bars:
+///
+/// 1. `bitwise_equal` must be literally `true` — the loopback cluster's
+///    sweep replies matched the single local `RomServer` byte for byte.
+///    Deterministic, so there is no noise allowance.
+/// 2. The batched cluster throughput must reach ≥ 1.0× the single-server
+///    baseline (`batched_over_local`). A `null` ratio is the bench's
+///    single-CPU convention — shard threads time-sliced one core, so
+///    there was no contrast to hold — and skips the bar (printed `n/a`).
+///
+/// Returns `false` when either bar is missed.
+fn gate_cluster(path: &str) -> bool {
+    let cur = match std::fs::read_to_string(path) {
+        Ok(text) => match parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("\n**GATE FAILED**: {path} is malformed ({e})");
+                return false;
+            }
+        },
+        Err(_) => {
+            println!("\n({path} absent; distributed serving not gated)");
+            return true;
+        }
+    };
+    println!(
+        "\n### Distributed serving (n = {}, {} shards, {} placement)\n",
+        cur.num("n").unwrap_or(f64::NAN),
+        cur.num("shards").unwrap_or(f64::NAN),
+        match cur.get("placement") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => "?",
+        },
+    );
+    println!("| metric | value |");
+    println!("|---|---:|");
+    for (key, label) in [
+        ("qps_local", "local server (queries/s)"),
+        ("qps_unbatched", "cluster, unbatched (queries/s)"),
+        ("qps_batched", "cluster, batched (queries/s)"),
+        ("batched_over_unbatched", "batched / unbatched"),
+        ("router_overhead_us", "router ping floor (µs)"),
+        ("rpcs", "wire round trips"),
+        ("coalesced_queries", "coalesced sub-queries"),
+        ("local_evictions", "LRU evictions, local"),
+        ("shard_evictions", "LRU evictions, shards"),
+    ] {
+        println!(
+            "| {label} | {} |",
+            cur.num(key).map_or("n/a".into(), |v| format!("{v:.1}")),
+        );
+    }
+    let mut ok = true;
+    match cur.get("bitwise_equal") {
+        Some(Json::Bool(true)) => {
+            println!("\ndistributed replies bitwise-equal to the local server: yes");
+        }
+        other => {
+            println!(
+                "\n**GATE FAILED**: distributed replies must be bitwise-equal to the local \
+                 server (bitwise_equal = {other:?}) — deterministic bar, no noise allowance"
+            );
+            ok = false;
+        }
+    }
+    match cur.get("batched_over_local") {
+        Some(Json::Null) => {
+            println!(
+                "batched throughput gate: n/a (single-CPU host; shard threads had no \
+                 concurrency to buy the wire overhead back)"
+            );
+        }
+        Some(v) => {
+            match v.as_f64() {
+                Some(ratio) if ratio >= 1.0 => {
+                    println!("batched cluster throughput: {ratio:.3}x the local server (required ≥ 1.0x)");
+                }
+                Some(ratio) => {
+                    println!(
+                        "\n**GATE FAILED**: batched cluster throughput is {ratio:.3}x the local \
+                     server (required ≥ 1.0x)"
+                    );
+                    ok = false;
+                }
+                None => {
+                    println!("\n**GATE FAILED**: batched_over_local is not numeric");
+                    ok = false;
+                }
+            }
+        }
+        None => {
+            println!("\n**GATE FAILED**: batched_over_local missing from {path}");
+            ok = false;
+        }
+    }
+    ok
+}
+
 /// Prints the observability record of the current artifact — the
 /// top-level span durations of the `BDSM_OBS=spans` reduce and the
 /// `RomServer` cache accounting — next to the baseline's when it carries
@@ -442,6 +549,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if !gate_serve(&current, &baseline, factor) {
+        return ExitCode::FAILURE;
+    }
+    if !gate_cluster(DEFAULT_CLUSTER) {
         return ExitCode::FAILURE;
     }
     show_obs(&current, &baseline);

@@ -37,14 +37,19 @@
 //! spans sum to the krylov stage time within 5 %, saves the Chrome trace
 //! as `BENCH_trace_10k.json`, and checks the `RomServer` cache accounting
 //! exactly, dumping global + server metrics as `BENCH_metrics.json`).
+//! A standalone `cluster` record (`BENCH_cluster.json`) also runs at
+//! 10,000: the same ROM behind a 2-shard band-sharded loopback cluster
+//! vs one local `RomServer`, batched and unbatched — `bench_gate` holds
+//! its distributed-vs-local `bitwise_equal` verdict exactly.
 //!
 //! Every speedup field records the worker count the parallel leg actually
 //! ran with (`par::worker_count`); on a single-worker host the parallel
 //! and serial legs are the same experiment, so the speedup is emitted as
 //! `null` rather than a fabricated 1.0x.
 
-use bdsm_bench::time_with_warmup;
+use bdsm_bench::{json, time_with_warmup};
 use bdsm_circuit::{mna, partition_network_with, PartitionStrategy};
+use bdsm_cluster::{ClientConfig, ClusterClient, NodeConfig, ShardNode, ShardPlan};
 use bdsm_core::engine::AdaptiveShiftOpts;
 use bdsm_core::reduce::StageTimings;
 use bdsm_core::synth::{rc_grid, rc_ladder_loaded};
@@ -56,7 +61,7 @@ use bdsm_rom::{Reducer, RomArtifact, RomServer};
 use bdsm_sim::TransientSolver;
 use bdsm_sparse::{LuWorkspace, NumericKernel, ShiftedPencil};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const OMEGA_MID: f64 = 4.5e2;
 const DENSE_CEILING: usize = 2000;
@@ -366,6 +371,8 @@ fn main() -> Result<(), BenchError> {
     let transient = at_scale.then(transient_scenario).transpose()?;
     let adaptive = at_scale.then(adaptive_scenario).transpose()?;
     let serve = at_scale.then(serve_scenario).transpose()?;
+    // Standalone record (BENCH_cluster.json), gated by `bench_gate`.
+    at_scale.then(cluster_scenario).transpose()?;
     // Last: it flips the process-global obs level while it runs.
     let obs = at_scale.then(obs_scenario).transpose()?;
 
@@ -675,6 +682,200 @@ fn serve_scenario() -> Result<ServeRow, BenchError> {
         queries_per_sec,
         queries_per_sec_warm,
     })
+}
+
+/// Distributed serving at scale: the 10⁴ serve-configuration ROM behind
+/// a 2-shard band-sharded loopback cluster versus one local `RomServer`,
+/// both with capacity-16 LRU shift caches — 64 distinct shifts per sweep
+/// keep every pass deterministically all-miss, so the local and cluster
+/// legs do identical factorization work and the contrast is pure
+/// distribution cost/gain. The engine fan-out is pinned to one worker,
+/// leaving shard concurrency (one connection thread per shard) as the
+/// only parallelism. Emits `BENCH_cluster.json` for the CI artifact
+/// trail; `bench_gate` holds its `bitwise_equal` verdict exactly and the
+/// batched-over-local throughput ratio to ≥ 1.0× (`null`, skipped, on
+/// single-CPU hosts where there is no concurrency to buy the wire
+/// overhead back).
+fn cluster_scenario() -> Result<(), BenchError> {
+    const MODEL: u64 = 1;
+    const SHARDS: u32 = 2;
+    const QUERIES: usize = 4;
+    const CACHE_CAP: usize = 16;
+    println!("--- cluster: 100x100 mesh ROM behind {SHARDS} band shards vs one local server ---");
+    let net = rc_grid(100, 100, 1.0, 1e-3, 2.0);
+    let reducer = Reducer::builder()
+        .blocks(4)
+        .jomega_shifts(&[OMEGA_MID])
+        .moments(2)
+        .budget(2000)
+        .adaptive(AdaptiveShiftOpts {
+            candidate_omegas: AdaptiveShiftOpts::log_grid(5.0e1, 4.0e3, 6),
+            tol: 1e-6,
+            max_shifts: 4,
+        })
+        .exact_interfaces()
+        .build()?;
+    let artifact = reducer.reduce_to_artifact(&net)?;
+    let (env_lo, env_hi) = artifact
+        .provenance
+        .certificate
+        .frequency_envelope()
+        .ok_or("cluster scenario needs a certified frequency envelope")?;
+    let bytes = artifact.to_bytes();
+    let reduced_dim = artifact.reduced_dim();
+    let n = artifact.full_dim();
+
+    let mut local = RomServer::with_cache_capacity(CACHE_CAP);
+    let local_id = local.load_artifact(RomArtifact::from_bytes(&bytes)?);
+
+    let plan = ShardPlan::by_bands(MODEL, SHARDS, env_lo, env_hi)?;
+    let digest = plan.digest();
+    let nodes: Vec<ShardNode> = (0..SHARDS)
+        .map(|k| -> Result<ShardNode, BenchError> {
+            let mut server = RomServer::with_cache_capacity(CACHE_CAP);
+            let id = server.load_artifact(RomArtifact::from_bytes(&bytes)?);
+            Ok(ShardNode::spawn(
+                server,
+                vec![(MODEL, id)],
+                NodeConfig {
+                    shard_id: k,
+                    plan_digest: digest,
+                    io_timeout: Duration::from_secs(120),
+                },
+                "127.0.0.1:0",
+            )?)
+        })
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<std::net::SocketAddr> = nodes.iter().map(ShardNode::addr).collect();
+    let client = ClusterClient::connect(plan, &addrs, ClientConfig::default())?;
+
+    let omegas: Vec<f64> = (0..SERVE_FREQS)
+        .map(|i| 50.0 * (4.0e3_f64 / 50.0).powf(i as f64 / (SERVE_FREQS - 1) as f64))
+        .collect();
+    let batch: Vec<(u64, Vec<f64>)> = (0..QUERIES).map(|_| (MODEL, omegas.clone())).collect();
+
+    let (t_local_us, t_unbatched_us, t_batched_us, bitwise_equal, router_overhead_us) =
+        with_serial_engine(|| -> Result<(f64, f64, f64, bool, f64), BenchError> {
+            // Reference pass: warms page faults and the pooled TCP
+            // connections, and settles the bitwise verdict. The bounded
+            // caches keep every later pass identically cold (all-miss),
+            // so no further warmup discipline is needed.
+            let local_ref: Vec<_> = (0..QUERIES)
+                .map(|_| local.transfer_sweep(local_id, &omegas))
+                .collect::<Result<_, _>>()?;
+            let unbatched_ref: Vec<_> = (0..QUERIES)
+                .map(|_| client.transfer_sweep(MODEL, &omegas))
+                .collect::<Result<_, _>>()?;
+            let batched_ref = client.sweep_batch(&batch)?;
+            let bitwise_equal = (0..QUERIES)
+                .all(|q| unbatched_ref[q] == local_ref[q] && batched_ref[q] == local_ref[q]);
+
+            let best = |f: &mut dyn FnMut() -> Result<(), BenchError>| {
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let t0 = Instant::now();
+                    f()?;
+                    best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+                }
+                Ok::<f64, BenchError>(best)
+            };
+            let t_local_us = best(&mut || {
+                for _ in 0..QUERIES {
+                    std::hint::black_box(local.transfer_sweep(local_id, &omegas)?);
+                }
+                Ok(())
+            })?;
+            let t_unbatched_us = best(&mut || {
+                for _ in 0..QUERIES {
+                    std::hint::black_box(client.transfer_sweep(MODEL, &omegas)?);
+                }
+                Ok(())
+            })?;
+            let t_batched_us = best(&mut || {
+                std::hint::black_box(client.sweep_batch(&batch)?);
+                Ok(())
+            })?;
+            // Router + wire floor: the best ping round trip (frame codec,
+            // routing, TCP loopback — no solve work at all).
+            let mut ping_us = f64::INFINITY;
+            for _ in 0..16 {
+                let t0 = Instant::now();
+                client.ping(0)?;
+                ping_us = ping_us.min(t0.elapsed().as_secs_f64() * 1e6);
+            }
+            Ok((
+                t_local_us,
+                t_unbatched_us,
+                t_batched_us,
+                bitwise_equal,
+                ping_us,
+            ))
+        })?;
+
+    let cm = client.metrics();
+    let local_evictions = local.metrics().cache.evictions;
+    let mut shard_evictions = 0u64;
+    for k in 0..SHARDS {
+        let snapshot = json::parse(&client.shard_metrics(k)?)?;
+        shard_evictions += snapshot
+            .get("cache")
+            .and_then(|c| c.num("evictions"))
+            .unwrap_or(0.0) as u64;
+    }
+    for result in client.shutdown_all() {
+        result?;
+    }
+
+    let samples = (QUERIES * SERVE_FREQS) as f64;
+    let qps_local = samples / (t_local_us / 1e6);
+    let qps_unbatched = samples / (t_unbatched_us / 1e6);
+    let qps_batched = samples / (t_batched_us / 1e6);
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    // Same convention as the parallel-speedup records: on one CPU the
+    // shard threads time-slice a single core, so there is no
+    // distributed/local contrast to report — the ratio is `null` and the
+    // gate skips it.
+    let batched_over_local = if host_cpus >= 2 {
+        format!("{:.3}", qps_batched / qps_local)
+    } else {
+        "null".to_string()
+    };
+    println!(
+        "  {QUERIES} x {SERVE_FREQS}-freq sweeps: local {:.1} ms ({qps_local:.0} q/s), \
+         cluster unbatched {:.1} ms ({qps_unbatched:.0} q/s), batched {:.1} ms ({qps_batched:.0} q/s)",
+        t_local_us / 1e3,
+        t_unbatched_us / 1e3,
+        t_batched_us / 1e3,
+    );
+    println!(
+        "  router ping floor {router_overhead_us:.1} µs; rpcs {}, coalesced {}, \
+         evictions local {local_evictions} / shards {shard_evictions}; bitwise_equal {bitwise_equal}",
+        cm.rpcs, cm.coalesced_queries,
+    );
+
+    let json_text = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"topology\": \"rc_grid\",\n  \"n\": {n},\n  \
+         \"reduced_dim\": {reduced_dim},\n  \"placement\": \"by_band\",\n  \
+         \"shards\": {SHARDS},\n  \"host_cpus\": {host_cpus},\n  \"queries\": {QUERIES},\n  \
+         \"sweep_frequencies\": {SERVE_FREQS},\n  \"cache_capacity\": {CACHE_CAP},\n  \
+         \"t_local_us\": {t_local_us:.1},\n  \"t_cluster_unbatched_us\": {t_unbatched_us:.1},\n  \
+         \"t_cluster_batched_us\": {t_batched_us:.1},\n  \"qps_local\": {qps_local:.1},\n  \
+         \"qps_unbatched\": {qps_unbatched:.1},\n  \"qps_batched\": {qps_batched:.1},\n  \
+         \"batched_over_local\": {batched_over_local},\n  \
+         \"batched_over_unbatched\": {:.3},\n  \
+         \"router_overhead_us\": {router_overhead_us:.1},\n  \"rpcs\": {},\n  \
+         \"coalesced_queries\": {},\n  \"retries\": {},\n  \"worker_panics\": {},\n  \
+         \"local_evictions\": {local_evictions},\n  \"shard_evictions\": {shard_evictions},\n  \
+         \"bitwise_equal\": {bitwise_equal}\n}}\n",
+        qps_batched / qps_unbatched,
+        cm.rpcs,
+        cm.coalesced_queries,
+        cm.retries,
+        cm.worker_panics,
+    );
+    std::fs::write("BENCH_cluster.json", json_text)?;
+    println!("wrote BENCH_cluster.json ({SHARDS} shards, by-band placement)");
+    Ok(())
 }
 
 /// Observability at scale: the n = 10⁴ reduce under `BDSM_OBS=spans`,

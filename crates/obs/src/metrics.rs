@@ -191,13 +191,16 @@ impl HistogramSnapshot {
     }
 }
 
-/// Hit/miss/insert accounting for a keyed cache, embeddable per cache
-/// instance (e.g. one per `RomServer`).
+/// Hit/miss/insert/evict accounting for a keyed cache, embeddable per
+/// cache instance (e.g. one per `RomServer`).
 #[derive(Debug, Default)]
 pub struct CacheStats {
     pub hits: Counter,
     pub misses: Counter,
     pub inserts: Counter,
+    /// Entries displaced by a bounded cache to make room; zero for an
+    /// unbounded cache, so `inserts - evictions` is the live entry count.
+    pub evictions: Counter,
 }
 
 impl CacheStats {
@@ -206,6 +209,7 @@ impl CacheStats {
             hits: Counter::new(),
             misses: Counter::new(),
             inserts: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 
@@ -214,6 +218,7 @@ impl CacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
             inserts: self.inserts.get(),
+            evictions: self.evictions.get(),
         }
     }
 
@@ -221,6 +226,7 @@ impl CacheStats {
         self.hits.reset();
         self.misses.reset();
         self.inserts.reset();
+        self.evictions.reset();
     }
 }
 
@@ -230,6 +236,7 @@ pub struct CacheStatsSnapshot {
     pub hits: u64,
     pub misses: u64,
     pub inserts: u64,
+    pub evictions: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -417,6 +424,14 @@ mod tests {
         assert_eq!(snap.queries(), 4);
         assert_eq!(snap.hit_rate(), 0.75);
         assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.evictions, 0);
+        // A bounded cache displacing an entry counts it without touching
+        // the hit/miss classification of lookups.
+        s.evictions.inc();
+        let snap = s.snapshot();
+        assert_eq!(snap.queries(), 4);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.inserts - snap.evictions, 0);
         let empty = CacheStats::new().snapshot();
         assert_eq!(empty.hit_rate(), 0.0);
     }

@@ -36,7 +36,6 @@ use bdsm_core::transfer::{eval_transfer_factored, CMatrix, ZLu};
 use bdsm_linalg::Complex64;
 use bdsm_obs::{CacheStats, CacheStatsSnapshot, Counter, Histogram, HistogramSnapshot, ObsLevel};
 use bdsm_sim::TransientSolver;
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -135,13 +134,20 @@ pub enum EnvelopePolicy {
 }
 
 /// Handle to one loaded model inside a [`RomServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RomId(usize);
 
 impl RomId {
     /// The raw slot index (stable for the server's lifetime).
     pub fn index(&self) -> usize {
         self.0
+    }
+}
+
+impl fmt::Display for RomId {
+    /// Compact label (`rom#3`) for router logs and shard metrics.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rom#{}", self.0)
     }
 }
 
@@ -178,10 +184,14 @@ struct ServerMetrics {
 /// Point-in-time copy of a server's metrics, from [`RomServer::metrics`].
 ///
 /// Invariants (exact, by construction): `cache.hits + cache.misses` is
-/// the total number of per-frequency samples served, and `cache.misses
-/// == cache.inserts` equals the sum of [`RomServer::cached_shifts`] over
-/// all loaded models — a cold-shift race loser counts as a hit, since
-/// the winner's entry served it.
+/// the total number of per-frequency samples served, `cache.misses ==
+/// cache.inserts` (a cold-shift race loser counts as a hit, since the
+/// winner's entry served it), and `cache.inserts - cache.evictions`
+/// equals the sum of [`RomServer::cached_shifts`] over all loaded
+/// models. With the default unbounded cache `cache.evictions` is zero,
+/// so the PR-7 contract `misses == inserts == cached_shifts` holds
+/// verbatim; under a [`RomServer::set_cache_capacity`] bound the general
+/// form is the exact one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerMetricsSnapshot {
     /// Shift-cache hits/misses/inserts across all models.
@@ -213,12 +223,14 @@ impl ServerMetricsSnapshot {
     /// JSON object fragment (no trailing newline).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"hit_rate\": {}}}, \
+            "{{\"cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \"evictions\": {}, \
+             \"hit_rate\": {}}}, \
              \"envelope\": {{\"refusals\": {}, \"flags\": {}}}, \"panics_recovered\": {}, \
              \"latency\": {}}}",
             self.cache.hits,
             self.cache.misses,
             self.cache.inserts,
+            self.cache.evictions,
             self.hit_rate(),
             self.envelope_refusals,
             self.envelope_flags,
@@ -228,46 +240,151 @@ impl ServerMetricsSnapshot {
     }
 }
 
-/// One loaded artifact plus its per-shift factorization cache, keyed by
-/// the shift's bit pattern (so `jω` and any complex shift cache alike).
+/// Independently locked segments of a model's shift cache: a hot
+/// multi-threaded sweep spreads its lookups over eight mutexes instead of
+/// serializing on one.
+const CACHE_SEGMENTS: usize = 8;
+
+/// One cached factorization plus its LRU stamp. Stamps come from the
+/// owning segment's monotonic clock — bumped on every touch, so they are
+/// unique within a segment and the eviction victim is unambiguous.
+struct CacheSlot {
+    lu: Arc<ZLu>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheSegment {
+    map: HashMap<(u64, u64), CacheSlot>,
+    clock: u64,
+}
+
+impl CacheSegment {
+    /// Evicts least-recently-used slots until at most `cap - room` remain,
+    /// counting each displaced entry.
+    fn evict_down_to(&mut self, cap: usize, room: usize, stats: &CacheStats) {
+        while self.map.len() + room > cap {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k)
+                .expect("segment over capacity is nonempty");
+            self.map.remove(&victim);
+            stats.evictions.inc();
+        }
+    }
+}
+
+/// A model's per-shift factorization cache: [`CACHE_SEGMENTS`]
+/// independently locked LRU segments, keyed by the shift's bit pattern
+/// (so `jω` and any complex shift cache alike). A capacity bound is
+/// enforced per segment (the server-wide knob divided over segments,
+/// rounded up), so the live-entry count never exceeds
+/// `CACHE_SEGMENTS × ⌈capacity / CACHE_SEGMENTS⌉`. Eviction only ever
+/// discards a completed factorization — re-deriving it later is pure and
+/// bitwise-identical, so bounded caches change wall-clock, never bytes.
+struct ShardedShiftCache {
+    segments: [Mutex<CacheSegment>; CACHE_SEGMENTS],
+    /// Max entries per segment; `None` is unbounded (the default).
+    per_segment_cap: Option<usize>,
+}
+
+impl ShardedShiftCache {
+    fn new(capacity: Option<usize>) -> Self {
+        ShardedShiftCache {
+            segments: std::array::from_fn(|_| Mutex::new(CacheSegment::default())),
+            per_segment_cap: capacity.map(per_segment_cap),
+        }
+    }
+
+    /// Which segment owns a shift key (splitmix-style bit mix, so nearby
+    /// frequencies spread instead of clustering on one lock).
+    fn segment_of(key: (u64, u64)) -> usize {
+        let mut h = key.0 ^ key.1.rotate_left(32);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        (h % CACHE_SEGMENTS as u64) as usize
+    }
+
+    /// Distinct shifts currently cached across all segments.
+    fn len(&self) -> usize {
+        self.segments.iter().map(|s| lock_cache(s).map.len()).sum()
+    }
+
+    /// Re-bounds the cache, trimming oversized segments immediately (each
+    /// trimmed entry is counted as an eviction).
+    fn set_capacity(&mut self, capacity: Option<usize>, stats: &CacheStats) {
+        self.per_segment_cap = capacity.map(per_segment_cap);
+        if let Some(cap) = self.per_segment_cap {
+            for seg in &self.segments {
+                lock_cache(seg).evict_down_to(cap, 0, stats);
+            }
+        }
+    }
+}
+
+/// The per-segment share of a server-wide capacity knob: rounded up, and
+/// never below one entry per segment.
+fn per_segment_cap(capacity: usize) -> usize {
+    capacity.div_ceil(CACHE_SEGMENTS).max(1)
+}
+
+/// One loaded artifact plus its sharded per-shift factorization cache.
 struct ServedRom {
     artifact: RomArtifact,
-    cache: Mutex<HashMap<(u64, u64), Arc<ZLu>>>,
+    cache: ShardedShiftCache,
 }
 
 impl ServedRom {
     /// The cached factorization of `G_r + sC_r`, computing and inserting
-    /// it on first use — a double-checked insert that **never holds the
+    /// it on first use — a double-checked insert that **never holds a
     /// cache lock across the factorization**, so one slow cold shift
     /// cannot serialize every concurrent query on the model. Two workers
     /// racing on the same fresh shift both factor — identical, pure
     /// results — and the first insert wins; the loser is accounted as a
-    /// hit, which keeps `misses == inserts == cached_shifts` exact.
+    /// hit, which keeps `misses == inserts` exact. A full segment evicts
+    /// its least-recently-used entry before inserting.
     fn factored(&self, s: Complex64, stats: &CacheStats) -> Result<Arc<ZLu>, RomError> {
         let key = (s.re.to_bits(), s.im.to_bits());
+        let segment = &self.cache.segments[ShardedShiftCache::segment_of(key)];
         {
-            let guard = lock_cache(&self.cache);
+            let mut guard = lock_cache(segment);
             // Fault site while the lock is held: an injected panic here
-            // poisons the cache mutex, which is exactly the condition
+            // poisons the segment mutex, which is exactly the condition
             // `lock_cache`'s recovery (and its tests) exercise.
             bdsm_obs::faultpoint!("rom.cache.locked");
-            if let Some(lu) = guard.get(&key) {
+            guard.clock += 1;
+            let tick = guard.clock;
+            if let Some(slot) = guard.map.get_mut(&key) {
+                slot.last_used = tick;
                 stats.hits.inc();
-                return Ok(Arc::clone(lu));
+                return Ok(Arc::clone(&slot.lu));
             }
         }
         let lu = Arc::new(ZLu::factor_shifted(&self.artifact.g, &self.artifact.c, s)?);
-        match lock_cache(&self.cache).entry(key) {
-            Entry::Occupied(e) => {
-                stats.hits.inc();
-                Ok(Arc::clone(e.get()))
-            }
-            Entry::Vacant(v) => {
-                stats.misses.inc();
-                stats.inserts.inc();
-                Ok(Arc::clone(v.insert(lu)))
-            }
+        let mut guard = lock_cache(segment);
+        guard.clock += 1;
+        let tick = guard.clock;
+        if let Some(slot) = guard.map.get_mut(&key) {
+            slot.last_used = tick;
+            stats.hits.inc();
+            return Ok(Arc::clone(&slot.lu));
         }
+        stats.misses.inc();
+        stats.inserts.inc();
+        if let Some(cap) = self.cache.per_segment_cap {
+            guard.evict_down_to(cap, 1, stats);
+        }
+        guard.map.insert(
+            key,
+            CacheSlot {
+                lu: Arc::clone(&lu),
+                last_used: tick,
+            },
+        );
+        Ok(lu)
     }
 
     /// One transfer sample `H(s)` through the cache — the exact
@@ -291,6 +408,8 @@ pub struct RomServer {
     models: Vec<ServedRom>,
     metrics: ServerMetrics,
     envelope_policy: EnvelopePolicy,
+    /// Server-wide per-model shift-cache bound; `None` is unbounded.
+    cache_capacity: Option<usize>,
 }
 
 impl RomServer {
@@ -300,11 +419,40 @@ impl RomServer {
         Self::default()
     }
 
+    /// An empty server whose per-model shift caches hold at most
+    /// `capacity` factorizations each, evicting least-recently-used
+    /// entries beyond that. Eviction trades recomputation for memory and
+    /// never changes served bytes. The bound is enforced per lock segment
+    /// (`⌈capacity / 8⌉` each), so up to seven entries of rounding slack
+    /// may remain live above `capacity`.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        RomServer {
+            cache_capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// The per-model shift-cache bound; `None` is unbounded.
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
+    }
+
+    /// Re-bounds every model's shift cache (and future loads). Shrinking
+    /// below the live entry count trims least-recently-used entries
+    /// immediately, counting each as an eviction in
+    /// [`metrics`](Self::metrics).
+    pub fn set_cache_capacity(&mut self, capacity: Option<usize>) {
+        self.cache_capacity = capacity;
+        for model in &mut self.models {
+            model.cache.set_capacity(capacity, &self.metrics.cache);
+        }
+    }
+
     /// Registers an in-memory artifact, returning its handle.
     pub fn load_artifact(&mut self, artifact: RomArtifact) -> RomId {
         self.models.push(ServedRom {
             artifact,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedShiftCache::new(self.cache_capacity),
         });
         RomId(self.models.len() - 1)
     }
@@ -313,9 +461,18 @@ impl RomServer {
     ///
     /// # Errors
     ///
-    /// Propagates [`RomArtifact::load`] failures.
+    /// Propagates [`RomArtifact::load`] failures; I/O failures carry the
+    /// offending path in their message.
     pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<RomId, RomError> {
-        Ok(self.load_artifact(RomArtifact::load(path)?))
+        let path = path.as_ref();
+        let artifact = RomArtifact::load(path).map_err(|e| match e {
+            RomError::Io(io) => RomError::Io(std::io::Error::new(
+                io.kind(),
+                format!("{}: {io}", path.display()),
+            )),
+            other => other,
+        })?;
+        Ok(self.load_artifact(artifact))
     }
 
     /// Number of loaded models.
@@ -356,7 +513,7 @@ impl RomServer {
     ///
     /// [`RomError::UnknownModel`] for a stale or foreign id.
     pub fn cached_shifts(&self, id: RomId) -> Result<usize, RomError> {
-        Ok(lock_cache(&self.served(id)?.cache).len())
+        Ok(self.served(id)?.cache.len())
     }
 
     /// A snapshot of this server's observability counters: shift-cache
@@ -711,6 +868,105 @@ mod tests {
             server.transient_batch(id, h, &[]),
             Err(RomError::Query(_))
         ));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_accounts_exactly() {
+        let (_, artifact) = grid_artifact();
+        // Capacity 8 over 8 segments = 1 slot per segment: every segment
+        // collision evicts, so eviction pressure is maximal.
+        let mut server = RomServer::with_cache_capacity(8);
+        assert_eq!(server.cache_capacity(), Some(8));
+        let id = server.load_artifact(artifact);
+        let omegas: Vec<f64> = (0..32).map(|i| 40.0 * 1.3_f64.powi(i)).collect();
+        let sweep = server.transfer_sweep(id, &omegas).unwrap();
+        let m = server.metrics();
+        // Every sample was cold → a miss and an insert; the bound only
+        // changes what stays resident, never the arithmetic.
+        assert_eq!(m.cache.misses, omegas.len() as u64);
+        assert_eq!(m.cache.inserts, m.cache.misses);
+        assert!(
+            m.cache.evictions > 0,
+            "32 shifts through 8 slots must evict"
+        );
+        // The generalized PR-7 contract: live entries == inserts - evictions.
+        let live = server.cached_shifts(id).unwrap() as u64;
+        assert_eq!(live, m.cache.inserts - m.cache.evictions);
+        assert!(live <= 8, "cache exceeded its bound: {live}");
+        // Evicted shifts refactor to bitwise-identical results.
+        let again = server.transfer_sweep(id, &omegas).unwrap();
+        assert_eq!(again, sweep);
+    }
+
+    #[test]
+    fn warm_entries_survive_eviction_pressure() {
+        let (_, artifact) = grid_artifact();
+        let mut server = RomServer::new();
+        let id = server.load_artifact(artifact);
+        let omegas: Vec<f64> = (0..24).map(|i| 40.0 * 1.4_f64.powi(i)).collect();
+        server.transfer_sweep(id, &omegas).unwrap();
+        assert_eq!(server.cached_shifts(id).unwrap(), omegas.len());
+        // Keep the first four hot, then shrink: the hot set was touched
+        // after everything else, so LRU trimming must spare it.
+        let hot = &omegas[..4];
+        server.transfer_sweep(id, hot).unwrap();
+        server.set_cache_capacity(Some(8));
+        let m = server.metrics();
+        assert_eq!(
+            server.cached_shifts(id).unwrap() as u64,
+            m.cache.inserts - m.cache.evictions
+        );
+        let before = server.metrics();
+        let warm = server.transfer_sweep(id, hot).unwrap();
+        let after = server.metrics();
+        assert_eq!(
+            after.cache.misses, before.cache.misses,
+            "hot shifts were evicted despite being most recently used"
+        );
+        assert_eq!(after.cache.hits, before.cache.hits + hot.len() as u64);
+        assert!(!warm.is_empty());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_and_capacity_roundtrips() {
+        let (_, artifact) = grid_artifact();
+        let mut server = RomServer::new();
+        assert_eq!(server.cache_capacity(), None);
+        let id = server.load_artifact(artifact);
+        let omegas: Vec<f64> = (0..16).map(|i| 40.0 * 1.5_f64.powi(i)).collect();
+        server.transfer_sweep(id, &omegas).unwrap();
+        let m = server.metrics();
+        assert_eq!(m.cache.evictions, 0);
+        assert_eq!(m.cache.misses, m.cache.inserts);
+        assert_eq!(m.cache.inserts, server.cached_shifts(id).unwrap() as u64);
+        // Lifting the bound back off keeps everything resident.
+        server.set_cache_capacity(Some(64));
+        server.set_cache_capacity(None);
+        assert_eq!(server.cache_capacity(), None);
+        assert_eq!(server.metrics().cache.evictions, 0);
+        // JSON dump carries the eviction counter.
+        assert!(server.metrics().to_json().contains("\"evictions\": 0"));
+    }
+
+    #[test]
+    fn rom_id_displays_compactly() {
+        let (_, artifact) = grid_artifact();
+        let mut server = RomServer::new();
+        let id = server.load_artifact(artifact);
+        assert_eq!(format!("{id}"), "rom#0");
+    }
+
+    #[test]
+    fn load_file_error_names_the_path() {
+        let mut server = RomServer::new();
+        let err = server
+            .load_file("/nonexistent/bdsm/missing.rom")
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("/nonexistent/bdsm/missing.rom"),
+            "I/O error lost its path: {msg}"
+        );
     }
 
     #[test]

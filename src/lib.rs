@@ -9,7 +9,8 @@
 //! |------|------|--------------|
 //! | *build* | [`rom::Reducer`] | typed builder over the staged engine; configuration validated at `build()` time ([`rom::BuildError`]) |
 //! | *save/load* | [`rom::RomArtifact`] | versioned binary serialization (magic + format version + checksum), **bitwise-exact** round-trips, JSON debug dump, provenance (engine version, shifts, residual trajectory, and the [`rom::Certificate`]; format v3, v2 files still load with certificate `Unknown`) |
-//! | *serve* | [`rom::RomServer`] | thread-safe multi-model handle; caches per-shift factorizations; batched `transfer_sweep` / `port_response` / `transient` queries fan out over [`core::par`], bitwise-deterministic for any `BDSM_THREADS`; validates query inputs ([`rom::QueryError`]), enforces the certified envelope per [`rom::EnvelopePolicy`], and contains panics as [`rom::RomError::Internal`] |
+//! | *serve* | [`rom::RomServer`] | thread-safe multi-model handle; caches per-shift factorizations in a sharded-lock, optionally capacity-bounded LRU cache ([`rom::RomServer::with_cache_capacity`]); batched `transfer_sweep` / `port_response` / `transient` queries fan out over [`core::par`], bitwise-deterministic for any `BDSM_THREADS`; validates query inputs ([`rom::QueryError`]), enforces the certified envelope per [`rom::EnvelopePolicy`], and contains panics as [`rom::RomError::Internal`] |
+//! | *scale out* | [`cluster::ClusterClient`] | distributed serving over multiple [`cluster::ShardNode`] processes: shard-by-model or shard-by-frequency-band placement ([`cluster::ShardPlan`]), a std-only length-prefixed TCP wire protocol ([`cluster::wire`]), request batching with admission control, retry-with-backoff, and a deterministic ω-order merge — replies **bitwise-equal** to a single local `RomServer` |
 //!
 //! # Quickstart: build once, save, serve
 //!
@@ -57,6 +58,7 @@
 //! | *certify*  | [`core`]       | [`core::certify::certify_reduced`] behind [`core::certify::CertifyOpts`] — semidefiniteness + positive-real passivity sampling, Lyapunov/spectral stability, per-band a posteriori error bounds; the resulting [`core::certify::Certificate`] travels in [`core::engine::EngineReport`] and artifact provenance |
 //! | *evaluate* | [`core`]       | [`core::transfer::TransferEvaluator`], [`core::transfer::SparseTransferEvaluator`], [`core::transfer::eval_transfer_factored`] |
 //! | *simulate* | [`sim`]        | [`sim::TransientSolver`] |
+//! | *distribute* | [`cluster`]  | [`cluster::ShardPlan`] placement (by model / by frequency band), [`cluster::ShardNode`] TCP shard processes over [`rom::RomServer`], [`cluster::ClusterClient`] batching/retrying router with typed [`cluster::ClusterError`]s; the [`cluster::wire`] frame codec reuses the artifact conventions (magic, version, FNV-1a checksum, alloc-bounded reads) |
 //! | *observe*  | [`obs`]        | [`obs::span!`](span!) / [`obs::timing_span!`](timing_span!) RAII span tracing (Chrome-trace export via [`obs::Trace`]), [`obs::metrics`] counter/gauge/histogram registry, [`rom::RomServer::metrics`], [`obs::faultpoint!`](faultpoint!) fault-injection sites for robustness tests; one-atomic-load no-ops until `BDSM_OBS` (or [`obs::set_level`]) turns them on |
 //! | *measure*  | [`bench`]      | [`bench::time_with_warmup`] |
 //!
@@ -83,6 +85,7 @@
 
 pub use bdsm_bench as bench;
 pub use bdsm_circuit as circuit;
+pub use bdsm_cluster as cluster;
 pub use bdsm_core as core;
 pub use bdsm_io as io;
 pub use bdsm_linalg as linalg;
@@ -101,6 +104,9 @@ pub mod prelude {
         mna::assemble,
         partition::{partition_network, partition_network_with, PartitionStrategy},
         Network, ReductionSet, GROUND,
+    };
+    pub use bdsm_cluster::{
+        ClientConfig, ClusterClient, ClusterError, NodeConfig, ShardNode, ShardPlan, WireError,
     };
     pub use bdsm_core::certify::{
         CertStatus, Certificate, CertifyOpts, CheckOutcome, ErrorBand, PassivityCertificate,
